@@ -1,0 +1,160 @@
+package layeredsg
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"layeredsg/internal/experiments"
+	"layeredsg/internal/sbench"
+	"layeredsg/internal/stats"
+)
+
+// Ablation benchmarks isolate the design choices DESIGN.md calls out. The
+// variant figures already cover laziness (layered_map_sg vs lazy_layered_sg),
+// sparsity (ssg), partitioning (sl), and the degenerate linked list (ll);
+// these cover the remaining two knobs: membership-vector generation and the
+// commission period.
+
+// BenchmarkAblationMembershipScheme compares the NUMA-aware vector scheme
+// against naive thread-ID suffixes on the MC-WH workload, reporting
+// throughput and remote maintenance CAS per op. The paper's Sec. 5 builds
+// vectors from /proc/cpuinfo precisely to win this comparison.
+func BenchmarkAblationMembershipScheme(b *testing.B) {
+	machine := benchMachine(b, benchThreads)
+	for _, scheme := range []Scheme{SchemeSuffix, SchemeNUMAAware} {
+		b.Run(scheme.String(), func(b *testing.B) {
+			var opsPerMs, remoteCAS float64
+			for i := 0; i < b.N; i++ {
+				rec := stats.NewRecorder(machine, nil)
+				rec.SetLatency(stats.DefaultLatencyModel())
+				a, err := NewAdapter("layered_map_sg", machine, AdapterOptions{
+					KeySpace: experiments.MC.KeySpace,
+					Recorder: rec,
+					Scheme:   scheme,
+					Seed:     int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sbench.Trial(machine, a, benchWorkload(experiments.MC, experiments.WH))
+				a.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				opsPerMs += res.OpsPerMs
+				remoteCAS += rec.Summary().RemoteCASPerOp
+			}
+			b.ReportMetric(opsPerMs/float64(b.N), "ops/ms")
+			b.ReportMetric(remoteCAS/float64(b.N), "remoteCAS/op")
+		})
+	}
+}
+
+// BenchmarkAblationCommission sweeps the lazy protocol's commission period
+// on HC-WH — the "sweet spot" the paper speculates about: too short retires
+// nodes that would be revived; too long leaves garbage inflating traversals.
+func BenchmarkAblationCommission(b *testing.B) {
+	machine := benchMachine(b, benchThreads)
+	for _, comm := range []time.Duration{
+		50 * time.Microsecond,
+		400 * time.Microsecond,
+		3200 * time.Microsecond,
+		25600 * time.Microsecond,
+	} {
+		b.Run(fmt.Sprintf("commission=%v", comm), func(b *testing.B) {
+			var opsPerMs, nodesPerSearch float64
+			for i := 0; i < b.N; i++ {
+				rec := stats.NewRecorder(machine, nil)
+				rec.SetLatency(stats.DefaultLatencyModel())
+				a, err := NewAdapter("lazy_layered_sg", machine, AdapterOptions{
+					KeySpace:         experiments.HC.KeySpace,
+					Recorder:         rec,
+					CommissionPeriod: comm,
+					Seed:             int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sbench.Trial(machine, a, benchWorkload(experiments.HC, experiments.WH))
+				a.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				opsPerMs += res.OpsPerMs
+				nodesPerSearch += rec.Summary().NodesPerSearch
+			}
+			b.ReportMetric(opsPerMs/float64(b.N), "ops/ms")
+			b.ReportMetric(nodesPerSearch/float64(b.N), "nodes/search")
+		})
+	}
+}
+
+// BenchmarkAblationSkewedKeys contrasts the paper's uniform key draw with a
+// Zipf-skewed draw (extension): skew concentrates operations on a few hot
+// keys, which the layered map serves mostly from local-structure fast paths.
+func BenchmarkAblationSkewedKeys(b *testing.B) {
+	machine := benchMachine(b, benchThreads)
+	for _, dist := range []sbench.Distribution{sbench.Uniform, sbench.Zipf} {
+		name := "uniform"
+		if dist == sbench.Zipf {
+			name = "zipf"
+		}
+		b.Run(name, func(b *testing.B) {
+			var opsPerMs float64
+			for i := 0; i < b.N; i++ {
+				rec := stats.NewRecorder(machine, nil)
+				rec.SetLatency(stats.DefaultLatencyModel())
+				a, err := NewAdapter("lazy_layered_sg", machine, AdapterOptions{
+					KeySpace: experiments.MC.KeySpace,
+					Recorder: rec,
+					Seed:     int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				w := benchWorkload(experiments.MC, experiments.WH)
+				w.Distribution = dist
+				res, err := sbench.Trial(machine, a, w)
+				a.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				opsPerMs += res.OpsPerMs
+			}
+			b.ReportMetric(opsPerMs/float64(b.N), "ops/ms")
+		})
+	}
+}
+
+// BenchmarkAblationLocalStructure quantifies the hash-before-tree fast path:
+// the same layered map exercised with a key-space sized so fast-path hits
+// dominate (HC) versus one where the tree path dominates (LC), reporting
+// reads per op — the locality mechanism behind the paper's item (iii)
+// explanation of HC performance.
+func BenchmarkAblationLocalStructure(b *testing.B) {
+	machine := benchMachine(b, benchThreads)
+	for _, sc := range []experiments.Scenario{experiments.HC, experiments.LC} {
+		b.Run(sc.Name, func(b *testing.B) {
+			var reads float64
+			for i := 0; i < b.N; i++ {
+				rec := stats.NewRecorder(machine, nil)
+				a, err := NewAdapter("lazy_layered_sg", machine, AdapterOptions{
+					KeySpace: sc.KeySpace,
+					Recorder: rec,
+					Seed:     int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sbench.Trial(machine, a, benchWorkload(sc, experiments.WH)); err != nil {
+					b.Fatal(err)
+				}
+				a.Close()
+				s := rec.Summary()
+				reads += s.LocalReadsPerOp + s.RemoteReadsPerOp
+			}
+			b.ReportMetric(reads/float64(b.N), "sharedReads/op")
+		})
+	}
+}

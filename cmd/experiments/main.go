@@ -1,0 +1,218 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section. Each experiment prints a textual table and, with -out,
+// writes CSV files suitable for plotting.
+//
+// Usage:
+//
+//	experiments -exp fig2 -threads 2,4,8,16,32,48,64,96 -duration 1s -runs 1
+//	experiments -exp all -duration 500ms -out results/
+//
+// Experiments: fig2 fig3 fig4 (WH throughput HC/MC/LC), fig5 (nodes/search),
+// fig10 (sparse occupancy), fig11 fig12 fig13 (RH throughput),
+// table1 (locality & CAS metrics), table2 (modelled cache misses),
+// heatmap-cas (figs 6–9), heatmap-read (figs 14–17).
+//
+// Paper scale is -threads 2,...,96 -duration 10s -runs 5; defaults are sized
+// to finish quickly on a laptop while preserving the comparisons' shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"layeredsg"
+	"layeredsg/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+type env struct {
+	params  experiments.Params
+	threads []int
+	heavy   int // thread count for single-point experiments (paper: 96)
+	outDir  string
+	w       io.Writer
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		exp      = fs.String("exp", "all", "experiment id (fig2..fig5, fig10..fig13, table1, table2, heatmap-cas, heatmap-read, all)")
+		threads  = fs.String("threads", "2,4,8,16,32,48,96", "thread counts for throughput figures")
+		heavy    = fs.Int("heavy-threads", 96, "thread count for table1/fig5/heatmaps")
+		duration = fs.Duration("duration", 500*time.Millisecond, "measured duration per trial")
+		runs     = fs.Int("runs", 1, "runs averaged per configuration")
+		seed     = fs.Int64("seed", 42, "random seed")
+		outDir   = fs.String("out", "", "directory for CSV output (optional)")
+		pin      = fs.Bool("pin", false, "LockOSThread for workers")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	tc, err := parseThreads(*threads)
+	if err != nil {
+		return err
+	}
+	e := env{
+		params: experiments.Params{
+			Duration:     *duration,
+			Runs:         *runs,
+			Seed:         *seed,
+			LockOSThread: *pin,
+		},
+		threads: tc,
+		heavy:   *heavy,
+		outDir:  *outDir,
+		w:       w,
+	}
+
+	all := []string{
+		"fig2", "fig3", "fig4", "fig5", "fig10",
+		"fig11", "fig12", "fig13",
+		"table1", "table2", "heatmap-cas", "heatmap-read",
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = all
+	}
+	for _, id := range ids {
+		fmt.Fprintf(w, "== %s ==\n", id)
+		if err := e.dispatch(id); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func parseThreads(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad thread count %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func (e env) dispatch(id string) error {
+	build := layeredsg.ExperimentBuilder()
+	switch id {
+	case "fig2":
+		return e.throughput(id, "HC-WH throughput", experiments.HC, experiments.WH)
+	case "fig3":
+		return e.throughput(id, "MC-WH throughput", experiments.MC, experiments.WH)
+	case "fig4":
+		return e.throughput(id, "LC-WH throughput", experiments.LC, experiments.WH)
+	case "fig11":
+		return e.throughput(id, "HC-RH throughput", experiments.HC, experiments.RH)
+	case "fig12":
+		return e.throughput(id, "MC-RH throughput", experiments.MC, experiments.RH)
+	case "fig13":
+		return e.throughput(id, "LC-RH throughput", experiments.LC, experiments.RH)
+	case "fig5":
+		rows, err := experiments.NodesPerSearch(build, e.params, e.heavy, experiments.Fig5Algos)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteNodesPerSearch(e.w, rows)
+	case "fig10":
+		rows, err := experiments.Fig10(6, 100000, e.params.Seed)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteFig10(e.w, rows)
+	case "table1":
+		rows, err := experiments.Table1(build, e.params, e.heavy, experiments.Table1Algos)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteTable1(e.w, rows)
+	case "table2":
+		rows, err := experiments.Table2(build, e.params, []int{8, 16, 32}, experiments.Table2Algos)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteTable2(e.w, rows)
+	case "heatmap-cas":
+		return e.heatmaps("cas", experiments.CASHeatmap)
+	case "heatmap-read":
+		return e.heatmaps("read", experiments.ReadHeatmap)
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+}
+
+func (e env) throughput(id, title string, sc experiments.Scenario, load experiments.Load) error {
+	points, err := experiments.Throughput(
+		layeredsg.ExperimentBuilder(), e.params, sc, load,
+		experiments.ThroughputAlgos, e.threads,
+	)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteThroughputTable(e.w, title, points); err != nil {
+		return err
+	}
+	return e.writeCSV(id+".csv", func(w io.Writer) error {
+		return experiments.WriteThroughputCSV(w, points)
+	})
+}
+
+func (e env) heatmaps(kindName string, kind experiments.HeatmapKind) error {
+	results, err := experiments.Heatmaps(
+		layeredsg.ExperimentBuilder(), e.params, e.heavy, kind, experiments.HeatmapAlgos,
+	)
+	if err != nil {
+		return err
+	}
+	for _, h := range results {
+		if err := experiments.WriteHeatmapASCII(e.w, h, 24); err != nil {
+			return err
+		}
+		if err := e.writeCSV(fmt.Sprintf("heatmap_%s_%s.csv", kindName, h.Algorithm), func(w io.Writer) error {
+			return experiments.WriteHeatmapCSV(w, h)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e env) writeCSV(name string, fn func(io.Writer) error) error {
+	if e.outDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(e.outDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(e.outDir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}

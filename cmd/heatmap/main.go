@@ -1,0 +1,92 @@
+// Command heatmap regenerates the paper's locality heatmaps (Figs. 6–9 for
+// maintenance CAS, Figs. 14–17 for reads): matrix cell (i, j) counts accesses
+// by thread i to shared nodes allocated by thread j on the MC-WH scenario.
+//
+// Usage:
+//
+//	heatmap -kind cas -threads 96 -duration 1s -out out/
+//
+// Writes one CSV per algorithm plus an ASCII rendering to stdout, including
+// the per-NUMA-distance aggregation behind the paper's claim that locality
+// gains grow with inter-node distance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"layeredsg"
+	"layeredsg/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "heatmap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("heatmap", flag.ContinueOnError)
+	var (
+		kindFlag = fs.String("kind", "cas", "heatmap kind: cas | read")
+		algos    = fs.String("algos", strings.Join(experiments.HeatmapAlgos, ","), "comma-separated algorithms")
+		threads  = fs.Int("threads", 96, "worker threads")
+		duration = fs.Duration("duration", time.Second, "measured duration")
+		seed     = fs.Int64("seed", 42, "random seed")
+		outDir   = fs.String("out", "", "directory for CSV output (optional)")
+		buckets  = fs.Int("buckets", 24, "ASCII rendering buckets")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var kind experiments.HeatmapKind
+	switch *kindFlag {
+	case "cas":
+		kind = experiments.CASHeatmap
+	case "read":
+		kind = experiments.ReadHeatmap
+	default:
+		return fmt.Errorf("unknown kind %q", *kindFlag)
+	}
+
+	results, err := experiments.Heatmaps(
+		layeredsg.ExperimentBuilder(),
+		experiments.Params{Duration: *duration, Seed: *seed},
+		*threads, kind, strings.Split(*algos, ","),
+	)
+	if err != nil {
+		return err
+	}
+	for _, h := range results {
+		if err := experiments.WriteHeatmapASCII(w, h, *buckets); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*outDir, fmt.Sprintf("heatmap_%s_%s.csv", *kindFlag, h.Algorithm))
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := experiments.WriteHeatmapCSV(f, h); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", path)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCASHeatmapWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{
+		"-kind", "cas",
+		"-algos", "lazy_layered_sg",
+		"-threads", "8",
+		"-duration", "30ms",
+		"-buckets", "4",
+		"-out", dir,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "distance") {
+		t.Fatalf("missing distance summary:\n%s", out.String())
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "heatmap_cas_lazy_layered_sg.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := strings.Count(string(csv), "\n"); rows != 8 {
+		t.Fatalf("csv rows = %d want 8", rows)
+	}
+}
+
+func TestReadHeatmap(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-kind", "read", "-algos", "skiplist", "-threads", "4", "-duration", "20ms"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "skiplist") {
+		t.Fatal("algorithm header missing")
+	}
+}
+
+func TestBadKind(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kind", "bogus"}, &out); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+}

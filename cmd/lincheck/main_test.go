@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExploreLazyVariant(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-algo", "lazy_layered_sg", "-seeds", "25", "-threads", "3", "-ops", "4"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "all linearizable") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestExploreBaseline(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "skiplist", "-seeds", "10"}, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "nope", "-seeds", "1"}, &out); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

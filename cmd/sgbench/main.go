@@ -1,0 +1,87 @@
+// Command sgbench runs a single Synchrobench-style trial of one algorithm —
+// the ad-hoc counterpart of cmd/experiments.
+//
+// Usage:
+//
+//	sgbench -algo lazy_layered_sg -threads 16 -keyspace 16384 -update 0.5 \
+//	        -duration 2s -runs 3
+//
+// Algorithm labels follow the paper; run with -list to see them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"layeredsg"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sgbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("sgbench", flag.ContinueOnError)
+	var (
+		algo     = fs.String("algo", "lazy_layered_sg", "algorithm label")
+		list     = fs.Bool("list", false, "list algorithms and exit")
+		threads  = fs.Int("threads", 8, "worker threads")
+		keySpace = fs.Int64("keyspace", 1<<14, "distinct keys")
+		update   = fs.Float64("update", 0.5, "requested update ratio")
+		duration = fs.Duration("duration", time.Second, "measured duration per run")
+		runs     = fs.Int("runs", 1, "runs to average")
+		preload  = fs.Float64("preload", 0.2, "preload fraction of the key space")
+		seed     = fs.Int64("seed", 42, "random seed")
+		pin      = fs.Bool("pin", false, "LockOSThread for workers")
+		yield    = fs.Int("yield", 1, "Gosched every N ops (0 disables)")
+		sockets  = fs.Int("sockets", 2, "simulated sockets")
+		cores    = fs.Int("cores", 24, "cores per socket")
+		smt      = fs.Int("smt", 2, "hardware threads per core")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		fmt.Fprintln(w, strings.Join(layeredsg.Algorithms(), "\n"))
+		return nil
+	}
+
+	topo, err := layeredsg.NewTopology(*sockets, *cores, *smt)
+	if err != nil {
+		return err
+	}
+	machine, err := layeredsg.Pin(topo, *threads)
+	if err != nil {
+		return err
+	}
+	wl := layeredsg.Workload{
+		KeySpace:        *keySpace,
+		UpdateRatio:     *update,
+		Duration:        *duration,
+		PreloadFraction: *preload,
+		Seed:            *seed,
+		LockOSThread:    *pin,
+		YieldEvery:      *yield,
+	}
+	res, err := layeredsg.RunAverage(machine, *algo, layeredsg.AdapterOptions{
+		KeySpace: *keySpace,
+		Seed:     *seed,
+	}, wl, *runs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "algorithm:          %s\n", res.Algorithm)
+	fmt.Fprintf(w, "threads:            %d\n", res.Threads)
+	fmt.Fprintf(w, "throughput:         %.0f ops/ms\n", res.OpsPerMs)
+	fmt.Fprintf(w, "total operations:   %d (%d runs)\n", res.TotalOps, *runs)
+	fmt.Fprintf(w, "effective updates:  %.1f%% (requested %.0f%%)\n", res.EffectiveUpdatePct, *update*100)
+	return nil
+}

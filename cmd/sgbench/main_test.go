@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"lazy_layered_sg", "skiplist", "numask"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("list missing %q", want)
+		}
+	}
+}
+
+func TestTrialRuns(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-algo", "layered_map_sg",
+		"-threads", "4",
+		"-sockets", "2", "-cores", "2", "-smt", "1",
+		"-keyspace", "256",
+		"-duration", "30ms",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"algorithm:", "layered_map_sg", "throughput:", "effective updates:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "nope", "-duration", "10ms"}, &out); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if err := run([]string{"-threads", "0"}, &out); err == nil {
+		t.Fatal("zero threads accepted")
+	}
+}

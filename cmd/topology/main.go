@@ -1,0 +1,98 @@
+// Command topology inspects the simulated NUMA machine: CPU layout, pin
+// order, distance matrix, and the membership vectors both schemes generate,
+// with the per-level list assignment each thread receives.
+//
+// Usage:
+//
+//	topology [-sockets 2 -cores 24 -smt 2] [-threads 96] [-scheme numa-aware]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"layeredsg/internal/membership"
+	"layeredsg/internal/numa"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "topology:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("topology", flag.ContinueOnError)
+	var (
+		sockets = fs.Int("sockets", 2, "sockets (= NUMA nodes)")
+		cores   = fs.Int("cores", 24, "cores per socket")
+		smt     = fs.Int("smt", 2, "hardware threads per core")
+		threads = fs.Int("threads", 0, "logical worker threads (default: all hardware threads)")
+		scheme  = fs.String("scheme", "numa-aware", "membership scheme: numa-aware | suffix")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	topo, err := numa.New(*sockets, *cores, *smt)
+	if err != nil {
+		return err
+	}
+	t := *threads
+	if t == 0 {
+		t = topo.HardwareThreads()
+	}
+	machine, err := numa.Pin(topo, t)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, machine.String())
+
+	var sch membership.Scheme
+	switch *scheme {
+	case "numa-aware":
+		sch = membership.NUMAAware
+	case "suffix":
+		sch = membership.Suffix
+	default:
+		return fmt.Errorf("unknown scheme %q", *scheme)
+	}
+	vectors, err := membership.Vectors(machine, sch)
+	if err != nil {
+		return err
+	}
+	maxLevel := membership.MaxLevel(t)
+	fmt.Fprintf(w, "\nMaxLevel = %d (%d threads, scheme %s)\n", maxLevel, t, sch)
+	fmt.Fprintln(w, "thread\tcpu\tsocket\tcore\tsmt\tvector\tassociated skip list")
+	for th := 0; th < t; th++ {
+		p := machine.Placement(th)
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%0*b\t%s\n",
+			th, p.CPU.ID, p.CPU.Socket, p.CPU.Core, p.CPU.SMT,
+			maxLevel, vectors[th], skipListPath(vectors[th], maxLevel))
+	}
+
+	fmt.Fprintln(w, "\nshared levels between thread pairs (sample):")
+	pairs := [][2]int{{0, 1}, {0, t / 4}, {0, t / 2}, {0, t - 1}}
+	for _, pr := range pairs {
+		a, b := pr[0], pr[1]
+		if a == b || b >= t {
+			continue
+		}
+		fmt.Fprintf(w, "threads %d,%d: physical distance %d, shared levels %d\n",
+			a, b, machine.ThreadDistance(a, b),
+			membership.SharedLevels(vectors[a], vectors[b], maxLevel))
+	}
+	return nil
+}
+
+// skipListPath renders the (λ, l1, l2, ...) list labels of a vector.
+func skipListPath(vector uint32, maxLevel int) string {
+	path := "(λ"
+	for level := 1; level <= maxLevel; level++ {
+		path += fmt.Sprintf(", %0*b", level, membership.ListLabel(vector, level))
+	}
+	return path + ")"
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultsOnSmallMachine(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-sockets", "2", "-cores", "2", "-smt", "2", "-threads", "8"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"available: 2 nodes",
+		"MaxLevel = 2",
+		"associated skip list",
+		"(λ, 0, 00)",
+		"shared levels between thread pairs",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunSuffixScheme(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-sockets", "1", "-cores", "4", "-smt", "1", "-scheme", "suffix"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "scheme suffix") {
+		t.Fatalf("suffix scheme not reported:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scheme", "bogus"}, &out); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+	if err := run([]string{"-sockets", "0"}, &out); err == nil {
+		t.Fatal("invalid topology accepted")
+	}
+	if err := run([]string{"-not-a-flag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,109 @@
+package layeredsg_test
+
+import (
+	"fmt"
+	"time"
+
+	"layeredsg"
+)
+
+// The basic lifecycle: describe a machine, pin threads, build a map, and
+// operate through per-thread handles.
+func Example() {
+	topo, _ := layeredsg.NewTopology(2, 2, 2) // 2 sockets × 2 cores × 2 SMT
+	machine, _ := layeredsg.Pin(topo, 4)
+	m, _ := layeredsg.New[int64, string](layeredsg.Config{
+		Machine: machine,
+		Kind:    layeredsg.LazyLayeredSG,
+	})
+
+	h := m.Handle(0)
+	fmt.Println(h.Insert(1, "one"))
+	fmt.Println(h.Insert(1, "dup"))
+	v, ok := h.Get(1)
+	fmt.Println(v, ok)
+	fmt.Println(h.Remove(1))
+	fmt.Println(h.Contains(1))
+	// Output:
+	// true
+	// false
+	// one true
+	// true
+	// false
+}
+
+// Every variant from the paper's evaluation is one Kind away.
+func ExampleConfig() {
+	topo, _ := layeredsg.NewTopology(2, 2, 1)
+	machine, _ := layeredsg.Pin(topo, 4)
+	for _, kind := range []layeredsg.Kind{
+		layeredsg.LayeredSG, layeredsg.LayeredSSG, layeredsg.LayeredLL,
+	} {
+		m, err := layeredsg.New[int64, int64](layeredsg.Config{Machine: machine, Kind: kind})
+		if err != nil {
+			fmt.Println(err)
+			continue
+		}
+		fmt.Println(kind, "height", m.MaxLevel())
+	}
+	// Output:
+	// layered_map_sg height 1
+	// layered_map_ssg height 1
+	// layered_map_ll height 0
+}
+
+// Ordered traversal gives weakly consistent range scans.
+func ExampleHandle_Ascend() {
+	topo, _ := layeredsg.NewTopology(1, 2, 1)
+	machine, _ := layeredsg.Pin(topo, 2)
+	m, _ := layeredsg.New[int64, string](layeredsg.Config{Machine: machine, Kind: layeredsg.LayeredSG})
+	h := m.Handle(0)
+	for _, k := range []int64{5, 1, 9, 3, 7} {
+		h.Insert(k, fmt.Sprintf("v%d", k))
+	}
+	h.Ascend(3, func(k int64, v string) bool {
+		fmt.Println(k, v)
+		return k < 7
+	})
+	// Output:
+	// 3 v3
+	// 5 v5
+	// 7 v7
+}
+
+// The registry builds every algorithm of the evaluation for benchmarking.
+func ExampleNewAdapter() {
+	topo, _ := layeredsg.NewTopology(2, 2, 1)
+	machine, _ := layeredsg.Pin(topo, 4)
+	a, err := layeredsg.NewAdapter("skiplist", machine, layeredsg.AdapterOptions{KeySpace: 1 << 10})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer a.Close()
+	h := a.Handle(0)
+	fmt.Println(h.Insert(7, 7))
+	fmt.Println(h.Contains(7))
+	// Output:
+	// true
+	// true
+}
+
+// A short Synchrobench-style trial.
+func ExampleRunTrial() {
+	topo, _ := layeredsg.NewTopology(2, 2, 1)
+	machine, _ := layeredsg.Pin(topo, 4)
+	a, _ := layeredsg.NewAdapter("lazy_layered_sg", machine, layeredsg.AdapterOptions{KeySpace: 1 << 8})
+	defer a.Close()
+	res, err := layeredsg.RunTrial(machine, a, layeredsg.Workload{
+		KeySpace:        1 << 8,
+		UpdateRatio:     0.5,
+		Duration:        20 * time.Millisecond,
+		PreloadFraction: 0.2,
+		Seed:            1,
+		YieldEvery:      1,
+	})
+	fmt.Println(err == nil, res.TotalOps > 0, res.Threads)
+	// Output:
+	// true true 4
+}

@@ -1,0 +1,67 @@
+// Quickstart: build a layered map, spawn one worker per simulated hardware
+// thread, and exercise the map API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"layeredsg"
+)
+
+func main() {
+	// Describe the machine. PaperMachine() gives the paper's 2×24×2 box; any
+	// topology works — here a small 2-socket machine.
+	topo, err := layeredsg.NewTopology(2, 4, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const workers = 8
+	machine, err := layeredsg.Pin(topo, workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A lazy layered skip graph map: the paper's best performer under
+	// contention. Handles are per-thread; the Map itself only holds shared
+	// state.
+	m, err := layeredsg.New[int64, string](layeredsg.Config{
+		Machine: machine,
+		Kind:    layeredsg.LazyLayeredSG,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := m.Handle(w) // confine each handle to one goroutine
+			for i := 0; i < 100; i++ {
+				key := int64(w*1000 + i)
+				if !h.Insert(key, fmt.Sprintf("value-%d", key)) {
+					log.Printf("worker %d: key %d already present", w, key)
+				}
+			}
+			// Remove every third key again.
+			for i := 0; i < 100; i += 3 {
+				h.Remove(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Any handle sees every thread's surviving insertions.
+	h := m.Handle(0)
+	if v, ok := h.Get(7001); ok {
+		fmt.Println("handle 0 reads worker 7's key:", v)
+	}
+	fmt.Println("total keys:", m.Len())
+	fmt.Println("skip graph height:", m.MaxLevel(), "(= ceil(log2 workers) - 1)")
+	fmt.Printf("worker 0 membership vector: %02b\n", m.Vector(0))
+}

@@ -1,0 +1,21 @@
+package layeredsg
+
+import (
+	"layeredsg/internal/experiments"
+	"layeredsg/internal/numa"
+	"layeredsg/internal/sbench"
+	"layeredsg/internal/stats"
+)
+
+// ExperimentBuilder adapts the algorithm registry to the experiments
+// package, which regenerates every table and figure of the paper's
+// evaluation (see internal/experiments and cmd/experiments).
+func ExperimentBuilder() experiments.Builder {
+	return func(name string, machine *numa.Machine, keySpace int64, recorder *stats.Recorder, seed int64) (sbench.Adapter, error) {
+		return NewAdapter(name, machine, AdapterOptions{
+			KeySpace: keySpace,
+			Recorder: recorder,
+			Seed:     seed,
+		})
+	}
+}

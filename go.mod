@@ -1,0 +1,3 @@
+module layeredsg
+
+go 1.24

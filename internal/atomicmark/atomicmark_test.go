@@ -1,0 +1,244 @@
+package atomicmark
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+type item struct{ v int }
+
+func TestZeroValue(t *testing.T) {
+	var r Ref[item]
+	snap := r.Load()
+	if snap.Next != nil || snap.Marked || snap.Valid {
+		t.Fatalf("zero value = %+v, want nil/unmarked/invalid", snap)
+	}
+	if r.Next() != nil {
+		t.Fatal("zero Next() != nil")
+	}
+	if r.Marked() {
+		t.Fatal("zero Marked()")
+	}
+	if r.Valid() {
+		t.Fatal("zero Valid()")
+	}
+}
+
+func TestInitAndLoad(t *testing.T) {
+	var r Ref[item]
+	a := &item{1}
+	r.Init(a, false, true)
+	if got := r.Load(); got.Next != a || got.Marked || !got.Valid {
+		t.Fatalf("Load = %+v", got)
+	}
+	m, v := r.MarkValid()
+	if m || !v {
+		t.Fatalf("MarkValid = %v,%v", m, v)
+	}
+}
+
+func TestCASNext(t *testing.T) {
+	var r Ref[item]
+	a, b, c := &item{1}, &item{2}, &item{3}
+	r.Init(a, false, true)
+
+	if !r.CASNext(a, b) {
+		t.Fatal("CASNext a→b failed")
+	}
+	if r.Next() != b {
+		t.Fatal("Next != b")
+	}
+	if r.CASNext(a, c) {
+		t.Fatal("CASNext with stale expected succeeded")
+	}
+	// Marked references are immutable.
+	if !r.CASMark(false, true) {
+		t.Fatal("CASMark failed")
+	}
+	if r.CASNext(b, c) {
+		t.Fatal("CASNext on marked reference succeeded")
+	}
+	if r.Next() != b {
+		t.Fatal("marked reference pointer changed")
+	}
+}
+
+func TestCASMarkPreservesPointerAndValid(t *testing.T) {
+	var r Ref[item]
+	a := &item{1}
+	r.Init(a, false, true)
+	if !r.CASMark(false, true) {
+		t.Fatal("CASMark false→true failed")
+	}
+	snap := r.Load()
+	if snap.Next != a || !snap.Marked || !snap.Valid {
+		t.Fatalf("after mark: %+v", snap)
+	}
+	if r.CASMark(false, true) {
+		t.Fatal("CASMark with wrong expectation succeeded")
+	}
+}
+
+func TestCASValid(t *testing.T) {
+	var r Ref[item]
+	a := &item{1}
+	r.Init(a, false, true)
+	if !r.CASValid(true, false) {
+		t.Fatal("CASValid true→false failed")
+	}
+	if r.Valid() {
+		t.Fatal("still valid")
+	}
+	if r.CASValid(true, false) {
+		t.Fatal("CASValid with wrong expectation succeeded")
+	}
+	snap := r.Load()
+	if snap.Next != a || snap.Marked {
+		t.Fatalf("CASValid disturbed other fields: %+v", snap)
+	}
+}
+
+func TestCASMarkValid(t *testing.T) {
+	var r Ref[item]
+	a := &item{1}
+	r.Init(a, false, false) // unmarked, invalid: ready for revival
+	if r.CASMarkValid(false, true, false, false) {
+		t.Fatal("CASMarkValid with wrong valid expectation succeeded")
+	}
+	if !r.CASMarkValid(false, false, false, true) {
+		t.Fatal("revival CAS failed")
+	}
+	m, v := r.MarkValid()
+	if m || !v {
+		t.Fatalf("after revival: %v,%v", m, v)
+	}
+	// Retire: (false,*)→(true,*) only via exact expectation.
+	if !r.CASMarkValid(false, true, false, false) {
+		t.Fatal("invalidate failed")
+	}
+	if !r.CASMarkValid(false, false, true, false) {
+		t.Fatal("retire failed")
+	}
+	if got := r.Load(); !got.Marked || got.Valid || got.Next != a {
+		t.Fatalf("after retire: %+v", got)
+	}
+}
+
+func TestCASSnapshot(t *testing.T) {
+	var r Ref[item]
+	a, b := &item{1}, &item{2}
+	r.Init(a, false, true)
+	exp := Snapshot[item]{Next: a, Marked: false, Valid: true}
+	want := Snapshot[item]{Next: b, Marked: false, Valid: true}
+	if !r.CASSnapshot(exp, want) {
+		t.Fatal("CASSnapshot failed")
+	}
+	if r.CASSnapshot(exp, want) {
+		t.Fatal("stale CASSnapshot succeeded")
+	}
+	if got := r.Load(); got != want {
+		t.Fatalf("Load = %+v want %+v", got, want)
+	}
+}
+
+// TestConcurrentMarkOnce checks that among many concurrent CASMark attempts
+// exactly one succeeds — the linearization guarantee every protocol step
+// relies on.
+func TestConcurrentMarkOnce(t *testing.T) {
+	for iter := 0; iter < 200; iter++ {
+		var r Ref[item]
+		r.Init(&item{1}, false, true)
+		const n = 8
+		results := make([]bool, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i] = r.CASMark(false, true)
+			}(i)
+		}
+		wg.Wait()
+		wins := 0
+		for _, ok := range results {
+			if ok {
+				wins++
+			}
+		}
+		if wins != 1 {
+			t.Fatalf("iter %d: %d winners, want exactly 1", iter, wins)
+		}
+	}
+}
+
+// TestConcurrentReviveRetireExclusive checks that revival (invalid→valid)
+// and retirement (unmarked-invalid→marked-invalid) of the same reference are
+// mutually exclusive: exactly one of the two racing transitions wins.
+func TestConcurrentReviveRetireExclusive(t *testing.T) {
+	for iter := 0; iter < 300; iter++ {
+		var r Ref[item]
+		r.Init(&item{1}, false, false)
+		var revived, retired bool
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			revived = r.CASMarkValid(false, false, false, true)
+		}()
+		go func() {
+			defer wg.Done()
+			retired = r.CASMarkValid(false, false, true, false)
+		}()
+		wg.Wait()
+		if revived == retired {
+			t.Fatalf("iter %d: revived=%v retired=%v, want exactly one", iter, revived, retired)
+		}
+	}
+}
+
+// TestQuickTransitions property-tests that arbitrary sequences of successful
+// CAS operations always leave the reference in the state the last winner
+// installed (cells are immutable, so torn states are impossible by
+// construction; this guards the invariants the helpers assume).
+func TestQuickTransitions(t *testing.T) {
+	f := func(ops []uint8) bool {
+		var r Ref[item]
+		a := &item{1}
+		r.Init(a, false, true)
+		cur := Snapshot[item]{Next: a, Marked: false, Valid: true}
+		nodes := []*item{a, {2}, {3}}
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				next := nodes[int(op/4)%len(nodes)]
+				if r.CASNext(cur.Next, next) {
+					if cur.Marked {
+						return false // CASNext must fail on marked refs
+					}
+					cur.Next = next
+				}
+			case 1:
+				if r.CASMark(cur.Marked, !cur.Marked) {
+					cur.Marked = !cur.Marked
+				}
+			case 2:
+				if r.CASValid(cur.Valid, !cur.Valid) {
+					cur.Valid = !cur.Valid
+				}
+			case 3:
+				if r.CASMarkValid(cur.Marked, cur.Valid, !cur.Marked, !cur.Valid) {
+					cur.Marked = !cur.Marked
+					cur.Valid = !cur.Valid
+				}
+			}
+			if got := r.Load(); got != cur {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package cachesim models the paper machine's cache hierarchy to reproduce
+// Table 2 (cache misses per operation, collected with PAPI on real hardware).
+//
+// The simulator replays the shared-node access stream produced by the
+// instrumentation in internal/stats (it implements stats.AccessSink). Each
+// shared node occupies one 64-byte line, identified by its node ID. The
+// hierarchy mirrors a Xeon 8275CL: a private L1 per hardware thread, an L2
+// shared by the SMT siblings of a core, and an L3 shared per socket, each
+// set-associative with LRU replacement. Absolute miss counts differ from
+// PAPI's (which also sees stack, local-structure, and instruction traffic),
+// but the relative shape — which algorithm touches more distinct lines per
+// operation, and how misses grow with threads — comes from the same access
+// stream the hardware counters observed.
+package cachesim
+
+import (
+	"sync"
+
+	"layeredsg/internal/numa"
+	"layeredsg/internal/stats"
+)
+
+// Config sizes the three cache levels. Zero values select the paper
+// machine's geometry.
+type Config struct {
+	L1Sets, L1Ways int // default 64 sets × 8 ways  (32 KiB of 64 B lines)
+	L2Sets, L2Ways int // default 1024 sets × 16 ways (1 MiB)
+	L3Sets, L3Ways int // default 4096 sets × 12 ways (3 MiB per-socket model)
+}
+
+func (c Config) withDefaults() Config {
+	if c.L1Sets == 0 {
+		c.L1Sets, c.L1Ways = 64, 8
+	}
+	if c.L2Sets == 0 {
+		c.L2Sets, c.L2Ways = 1024, 16
+	}
+	if c.L3Sets == 0 {
+		c.L3Sets, c.L3Ways = 4096, 12
+	}
+	return c
+}
+
+// cache is one set-associative LRU cache. Shared caches are accessed under
+// the mutex; counters are read only after the workload stops.
+type cache struct {
+	mu     sync.Mutex
+	sets   [][]uint64 // each set ordered MRU-first
+	ways   int
+	hits   uint64
+	misses uint64
+}
+
+func newCache(sets, ways int) *cache {
+	c := &cache{sets: make([][]uint64, sets), ways: ways}
+	for i := range c.sets {
+		c.sets[i] = make([]uint64, 0, ways)
+	}
+	return c
+}
+
+// access returns true on hit, installing the line on miss.
+func (c *cache) access(line uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set := c.sets[line%uint64(len(c.sets))]
+	for i, l := range set {
+		if l == line {
+			// Move to front (MRU).
+			copy(set[1:i+1], set[:i])
+			set[0] = line
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	if len(set) < c.ways {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = line
+	c.sets[line%uint64(len(c.sets))] = set
+	return false
+}
+
+func (c *cache) stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Simulator replays node accesses through the modelled hierarchy.
+type Simulator struct {
+	machine *numa.Machine
+	l1      []*cache // per logical thread
+	l2      []*cache // per (socket, core)
+	l3      []*cache // per socket
+	l2Of    []int    // thread → l2 index
+	l3Of    []int    // thread → socket
+}
+
+var _ stats.AccessSink = (*Simulator)(nil)
+
+// New builds a simulator for the machine's pinned threads.
+func New(machine *numa.Machine, cfg Config) *Simulator {
+	cfg = cfg.withDefaults()
+	topo := machine.Topology()
+	threads := machine.Threads()
+	s := &Simulator{
+		machine: machine,
+		l1:      make([]*cache, threads),
+		l2Of:    make([]int, threads),
+		l3Of:    make([]int, threads),
+	}
+	for t := 0; t < threads; t++ {
+		s.l1[t] = newCache(cfg.L1Sets, cfg.L1Ways)
+		cpu := machine.Placement(t).CPU
+		s.l2Of[t] = cpu.Socket*topo.CoresPerSocket() + cpu.Core
+		s.l3Of[t] = cpu.Socket
+	}
+	for i := 0; i < topo.Sockets()*topo.CoresPerSocket(); i++ {
+		s.l2 = append(s.l2, newCache(cfg.L2Sets, cfg.L2Ways))
+	}
+	for i := 0; i < topo.Sockets(); i++ {
+		s.l3 = append(s.l3, newCache(cfg.L3Sets, cfg.L3Ways))
+	}
+	return s
+}
+
+// Access implements stats.AccessSink: one shared-node touch by a thread.
+// Misses propagate down the hierarchy.
+func (s *Simulator) Access(thread int, line uint64, write bool) {
+	if s.l1[thread].access(line) {
+		return
+	}
+	if s.l2[s.l2Of[thread]].access(line) {
+		return
+	}
+	s.l3[s.l3Of[thread]].access(line)
+}
+
+// Misses holds aggregate miss counts per level.
+type Misses struct {
+	L1, L2, L3 uint64
+}
+
+// Misses returns total misses per level. Call after the workload stops.
+func (s *Simulator) Misses() Misses {
+	var m Misses
+	for _, c := range s.l1 {
+		_, miss := c.stats()
+		m.L1 += miss
+	}
+	for _, c := range s.l2 {
+		_, miss := c.stats()
+		m.L2 += miss
+	}
+	for _, c := range s.l3 {
+		_, miss := c.stats()
+		m.L3 += miss
+	}
+	return m
+}
+
+// PerOp divides the miss counts by an operation count, yielding Table 2's
+// misses-per-operation rows.
+func (m Misses) PerOp(ops uint64) (l1, l2, l3 float64) {
+	if ops == 0 {
+		return 0, 0, 0
+	}
+	f := float64(ops)
+	return float64(m.L1) / f, float64(m.L2) / f, float64(m.L3) / f
+}

@@ -1,0 +1,131 @@
+package cachesim
+
+import (
+	"sync"
+	"testing"
+
+	"layeredsg/internal/numa"
+)
+
+func machine(t *testing.T, threads int) *numa.Machine {
+	t.Helper()
+	topo, err := numa.New(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := numa.Pin(topo, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	s := New(machine(t, 2), Config{})
+	s.Access(0, 100, false) // cold: misses L1, L2, L3
+	m := s.Misses()
+	if m.L1 != 1 || m.L2 != 1 || m.L3 != 1 {
+		t.Fatalf("cold access misses = %+v", m)
+	}
+	s.Access(0, 100, false) // L1 hit
+	m = s.Misses()
+	if m.L1 != 1 || m.L2 != 1 || m.L3 != 1 {
+		t.Fatalf("hit recorded as miss: %+v", m)
+	}
+}
+
+func TestL1EvictionFallsToL2(t *testing.T) {
+	// Tiny L1: 1 set × 2 ways. L2 big enough to keep everything.
+	s := New(machine(t, 1), Config{L1Sets: 1, L1Ways: 2, L2Sets: 16, L2Ways: 16, L3Sets: 16, L3Ways: 16})
+	s.Access(0, 1, false)
+	s.Access(0, 2, false)
+	s.Access(0, 3, false) // evicts line 1 from L1
+	s.Access(0, 1, false) // L1 miss, L2 hit
+	m := s.Misses()
+	if m.L1 != 4 {
+		t.Fatalf("L1 misses = %d want 4", m.L1)
+	}
+	if m.L2 != 3 {
+		t.Fatalf("L2 misses = %d want 3 (line 1 must hit L2)", m.L2)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	s := New(machine(t, 1), Config{L1Sets: 1, L1Ways: 2, L2Sets: 4, L2Ways: 4, L3Sets: 4, L3Ways: 4})
+	s.Access(0, 1, false)
+	s.Access(0, 2, false)
+	s.Access(0, 1, false) // 1 becomes MRU
+	s.Access(0, 3, false) // evicts 2, not 1
+	s.Access(0, 1, false) // must still hit L1
+	if m := s.Misses(); m.L1 != 3 {
+		t.Fatalf("L1 misses = %d want 3 (LRU broken)", m.L1)
+	}
+}
+
+// TestSMTSiblingsShareL2 uses the pin order (cores before SMT siblings):
+// with 2 cores/socket, threads 0 and 2 share core 0 of socket 0.
+func TestSMTSiblingsShareL2(t *testing.T) {
+	m := machine(t, 8)
+	a, b := m.Placement(0).CPU, m.Placement(2).CPU
+	if a.Socket != b.Socket || a.Core != b.Core || a.SMT == b.SMT {
+		t.Fatalf("test assumption broken: %+v vs %+v", a, b)
+	}
+	s := New(m, Config{})
+	s.Access(0, 42, false) // thread 0 warms core 0's L2
+	s.Access(2, 42, false) // SMT sibling: L1 miss, L2 hit
+	mi := s.Misses()
+	if mi.L1 != 2 {
+		t.Fatalf("L1 misses = %d want 2 (private L1s)", mi.L1)
+	}
+	if mi.L2 != 1 {
+		t.Fatalf("L2 misses = %d want 1 (shared per-core L2)", mi.L2)
+	}
+}
+
+// TestSocketsShareL3: threads 0 and 1 are on different cores of socket 0;
+// thread 0's fill must hit in L3 for thread 1.
+func TestSocketsShareL3(t *testing.T) {
+	s := New(machine(t, 8), Config{})
+	s.Access(0, 7, false)
+	s.Access(1, 7, false)
+	mi := s.Misses()
+	if mi.L3 != 1 {
+		t.Fatalf("L3 misses = %d want 1 (shared per-socket L3)", mi.L3)
+	}
+	// A thread on the other socket misses everywhere.
+	s.Access(4, 7, false)
+	if mi = s.Misses(); mi.L3 != 2 {
+		t.Fatalf("L3 misses = %d want 2 (sockets do not share L3)", mi.L3)
+	}
+}
+
+func TestPerOp(t *testing.T) {
+	m := Misses{L1: 100, L2: 50, L3: 10}
+	l1, l2, l3 := m.PerOp(10)
+	if l1 != 10 || l2 != 5 || l3 != 1 {
+		t.Fatalf("PerOp = %v/%v/%v", l1, l2, l3)
+	}
+	if a, b, c := m.PerOp(0); a != 0 || b != 0 || c != 0 {
+		t.Fatal("PerOp(0) should be zero")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	m := machine(t, 8)
+	s := New(m, Config{})
+	var wg sync.WaitGroup
+	for th := 0; th < 8; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				s.Access(th, uint64(i%512), i%7 == 0)
+			}
+		}(th)
+	}
+	wg.Wait()
+	mi := s.Misses()
+	if mi.L1 == 0 || mi.L3 == 0 {
+		t.Fatalf("no misses recorded: %+v", mi)
+	}
+}

@@ -1,0 +1,109 @@
+package competitors
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"layeredsg/internal/node"
+)
+
+// TestStructuralIntegrityUnderChurn runs the contended workload with a
+// concurrent validator asserting the bottom list stays acyclic and sorted
+// (among all physically linked nodes, marked or not), and that the workload
+// itself never wedges. This caught a livelock where an insert kept retrying
+// from a jump node that had been removed after the lookup: the node's frozen
+// reference yielded the same un-CAS-able predecessor forever.
+func TestStructuralIntegrityUnderChurn(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		m := newMap(t, NoHotspot, 8)
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		bad := make(chan string, 1)
+		// Validator: bottom list must stay acyclic and sorted (among all
+		// physically linked nodes, marked or not).
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				steps := 0
+				var prev *node.Node[int64, int64]
+				seen := make(map[*node.Node[int64, int64]]int)
+				for n := m.sg.BottomHead().RawNext(0); n != nil && n.Kind() != node.Tail; n = n.RawNext(0) {
+					if pos, dup := seen[n]; dup {
+						select {
+						case bad <- fmt.Sprintf("round %d: CYCLE back to key %d (pos %d) after %d steps", round, n.Key(), pos, steps):
+						default:
+						}
+						return
+					}
+					seen[n] = steps
+					if prev != nil && !(prev.Key() < n.Key()) {
+						m1, _ := prev.RawMarkValid()
+						m2, _ := n.RawMarkValid()
+						select {
+						case bad <- fmt.Sprintf("round %d: ORDER violation %d(m=%v) -> %d(m=%v) at step %d", round, prev.Key(), m1, n.Key(), m2, steps):
+						default:
+						}
+						return
+					}
+					prev = n
+					steps++
+					if steps > 100000 {
+						select {
+						case bad <- fmt.Sprintf("round %d: runaway list > %d steps", round, steps):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+		for th := 0; th < 8; th++ {
+			wg.Add(1)
+			go func(th int) {
+				defer wg.Done()
+				h := m.Handle(th)
+				rng := rand.New(rand.NewSource(int64(round*100 + th)))
+				for i := 0; i < 3000; i++ {
+					k := rng.Int63n(128)
+					switch rng.Intn(3) {
+					case 0:
+						h.Insert(k, k)
+					case 1:
+						h.Remove(k)
+					default:
+						h.Contains(k)
+					}
+					select {
+					case msg := <-bad:
+						t.Error(msg)
+						return
+					default:
+					}
+				}
+			}(th)
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("round %d: workload hung", round)
+		}
+		close(stop)
+		select {
+		case msg := <-bad:
+			t.Fatal(msg)
+		default:
+		}
+		if t.Failed() {
+			return
+		}
+	}
+}

@@ -1,0 +1,458 @@
+// Package core implements the paper's primary contribution: the *layered
+// map*, thread-local sequential structures (internal/local) layered over a
+// partitioned skip graph (internal/skipgraph).
+//
+// Each thread operates through a Handle owning its local structures: a hash
+// index consulted first, then an ordered tree supporting backward traversal.
+// Local structures map keys the thread inserted to shared nodes and serve two
+// purposes: a *speculative* role (operations that can be linearized on a
+// locally-known node never search the shared structure) and a *jumping* role
+// (getStart finds a nearby shared node from which searches start, instead of
+// descending from the head), which is what converts the height-constrained
+// skip graph into an efficient map and keeps traffic NUMA-local.
+//
+// Five shared-structure shapes from the paper's evaluation are supported:
+// layered_map_sg, lazy_layered_sg, layered_map_ssg, layered_map_ll (linked
+// list: MaxLevel 0) and layered_map_sl (single skip list: no partitioning),
+// plus the lazy+sparse combination as an extension.
+package core
+
+import (
+	"cmp"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"layeredsg/internal/local"
+	"layeredsg/internal/membership"
+	"layeredsg/internal/node"
+	"layeredsg/internal/numa"
+	"layeredsg/internal/skipgraph"
+	"layeredsg/internal/stats"
+)
+
+// Kind selects a layered-map variant from the paper's evaluation.
+type Kind int
+
+const (
+	// LayeredSG is layered_map_sg: local maps over a non-lazy partitioned
+	// skip graph of height ceil(log2 T) - 1.
+	LayeredSG Kind = iota + 1
+	// LazyLayeredSG is lazy_layered_sg: the lazy protocol (valid bits,
+	// deferred level linking, commission-based retirement).
+	LazyLayeredSG
+	// LayeredSSG is layered_map_ssg: local maps over a sparse skip graph;
+	// only nodes reaching the top level enter the local structures.
+	LayeredSSG
+	// LazyLayeredSSG combines laziness and sparsity (an extension the paper
+	// lists as an ablation axis but does not evaluate).
+	LazyLayeredSSG
+	// LayeredLL is layered_map_ll: the shared structure degenerates to a
+	// lock-free linked list (MaxLevel 0).
+	LayeredLL
+	// LayeredSL is layered_map_sl: same height, but every thread shares one
+	// membership vector — a single skip list with no partitioning.
+	LayeredSL
+)
+
+// String implements fmt.Stringer using the paper's names.
+func (k Kind) String() string {
+	switch k {
+	case LayeredSG:
+		return "layered_map_sg"
+	case LazyLayeredSG:
+		return "lazy_layered_sg"
+	case LayeredSSG:
+		return "layered_map_ssg"
+	case LazyLayeredSSG:
+		return "lazy_layered_ssg"
+	case LayeredLL:
+		return "layered_map_ll"
+	case LayeredSL:
+		return "layered_map_sl"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+func (k Kind) lazy() bool {
+	return k == LazyLayeredSG || k == LazyLayeredSSG
+}
+
+func (k Kind) sparse() bool {
+	return k == LayeredSSG || k == LazyLayeredSSG
+}
+
+// Config parameterizes a layered map.
+type Config struct {
+	// Machine supplies the thread count, pinning, and topology; required.
+	Machine *numa.Machine
+	// Kind selects the variant; required.
+	Kind Kind
+	// Scheme selects membership-vector generation; defaults to NUMAAware.
+	Scheme membership.Scheme
+	// CommissionPeriod overrides the lazy protocol's commission period;
+	// 0 uses the paper's proportional-to-T default.
+	CommissionPeriod time.Duration
+	// Recorder, when non-nil, enables the paper's instrumentation.
+	Recorder *stats.Recorder
+	// Clock overrides the structure clock (tests); nil uses real time.
+	Clock func() int64
+	// Seed seeds the per-thread RNGs drawing sparse node heights.
+	Seed int64
+}
+
+// Map is a layered concurrent map. Obtain one Handle per worker thread; the
+// Map itself holds only shared state.
+type Map[K cmp.Ordered, V any] struct {
+	cfg     Config
+	sg      *skipgraph.SG[K, V]
+	vectors []uint32
+	handles []*Handle[K, V]
+	// jumps holds the per-thread published jump-index snapshots consumed by
+	// read-only handles (see reader.go).
+	jumps []atomic.Pointer[jumpIndex[K, V]]
+}
+
+// New builds a layered map for the machine's thread count.
+func New[K cmp.Ordered, V any](cfg Config) (*Map[K, V], error) {
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("core: Config.Machine is required")
+	}
+	if cfg.Kind < LayeredSG || cfg.Kind > LayeredSL {
+		return nil, fmt.Errorf("core: unknown kind %d", int(cfg.Kind))
+	}
+	if cfg.Scheme == 0 {
+		cfg.Scheme = membership.NUMAAware
+	}
+
+	threads := cfg.Machine.Threads()
+	maxLevel := membership.MaxLevel(threads)
+	var vectors []uint32
+	switch cfg.Kind {
+	case LayeredLL:
+		maxLevel = 0
+		vectors = make([]uint32, threads)
+	case LayeredSL:
+		vectors = make([]uint32, threads)
+	default:
+		var err error
+		vectors, err = membership.Vectors(cfg.Machine, cfg.Scheme)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	commission := cfg.CommissionPeriod
+	if cfg.Kind.lazy() && commission == 0 {
+		commission = skipgraph.DefaultCommissionPeriod(threads)
+	}
+	sg, err := skipgraph.New[K, V](skipgraph.Config{
+		MaxLevel:            maxLevel,
+		Lazy:                cfg.Kind.lazy(),
+		Sparse:              cfg.Kind.sparse(),
+		CleanupDuringSearch: !cfg.Kind.lazy(),
+		CommissionPeriod:    commission,
+		Clock:               cfg.Clock,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Map[K, V]{
+		cfg:     cfg,
+		sg:      sg,
+		vectors: vectors,
+		handles: make([]*Handle[K, V], threads),
+		jumps:   make([]atomic.Pointer[jumpIndex[K, V]], threads),
+	}
+	for t := 0; t < threads; t++ {
+		var tr *stats.ThreadRecorder
+		if cfg.Recorder != nil {
+			tr = cfg.Recorder.ThreadRecorder(t)
+		}
+		m.handles[t] = &Handle[K, V]{
+			m:      m,
+			thread: t,
+			vector: vectors[t],
+			owner:  node.Owner{Thread: int32(t), Node: int32(cfg.Machine.NodeOf(t))},
+			ls:     local.New[K, V](),
+			tr:     tr,
+			res:    sg.NewSearchResult(),
+			rng:    rand.New(rand.NewSource(cfg.Seed + int64(t)*0x5851F42D4C957F2D + 1)),
+		}
+	}
+	return m, nil
+}
+
+// Kind returns the variant.
+func (m *Map[K, V]) Kind() Kind { return m.cfg.Kind }
+
+// Threads returns the number of handles.
+func (m *Map[K, V]) Threads() int { return len(m.handles) }
+
+// Handle returns the per-thread handle for a logical thread. Handles are not
+// safe for concurrent use; each must be confined to one goroutine.
+func (m *Map[K, V]) Handle(thread int) *Handle[K, V] { return m.handles[thread] }
+
+// Vector returns the membership vector assigned to a thread.
+func (m *Map[K, V]) Vector(thread int) uint32 { return m.vectors[thread] }
+
+// MaxLevel returns the shared structure's height.
+func (m *Map[K, V]) MaxLevel() int { return m.sg.MaxLevel() }
+
+// Len counts logically present keys. O(n); for tests and tooling.
+func (m *Map[K, V]) Len() int { return m.sg.Len() }
+
+// Keys returns the logically present keys in order. O(n); tests and tooling.
+func (m *Map[K, V]) Keys() []K { return m.sg.BottomKeys() }
+
+// SharedStructure exposes the underlying skip graph for inspection by tests,
+// benchmarks, and the priority-queue layer.
+func (m *Map[K, V]) SharedStructure() *skipgraph.SG[K, V] { return m.sg }
+
+// Handle is one thread's view of the layered map: the thread's local
+// structures plus scratch state. Not safe for concurrent use.
+type Handle[K cmp.Ordered, V any] struct {
+	m      *Map[K, V]
+	thread int
+	vector uint32
+	owner  node.Owner
+	ls     *local.Structure[K, V]
+	tr     *stats.ThreadRecorder
+	res    *skipgraph.SearchResult[K, V]
+	rng    *rand.Rand
+}
+
+// Thread returns the logical thread this handle belongs to.
+func (h *Handle[K, V]) Thread() int { return h.thread }
+
+// LocalTreeLen returns the ordered local structure's size (tests/metrics).
+func (h *Handle[K, V]) LocalTreeLen() int { return h.ls.TreeLen() }
+
+// LocalHashLen returns the hash index's size (tests/metrics).
+func (h *Handle[K, V]) LocalHashLen() int { return h.ls.HashLen() }
+
+// nodeOf extracts the shared node an iterator points at, or nil (meaning:
+// start from the head of this thread's skip list).
+func (h *Handle[K, V]) nodeOf(it local.Iterator[K, V]) *node.Node[K, V] {
+	if !it.Valid() {
+		return nil
+	}
+	return it.Value()
+}
+
+// usable reports whether a shared node can seed a search. The paper's Alg. 4
+// admits nodes "not marked at level 0 OR not marked at MaxLevel", but a node
+// whose level-0 reference is already marked has that reference *frozen*: a
+// search entering level 0 with it as predecessor can bypass nodes inserted
+// (next to a live predecessor) after the freeze — including inserts that
+// completed before the current operation began, which would break
+// linearizability. Requiring the start to be observed unmarked at level 0
+// within the current operation closes the window: any later freeze overlaps
+// the operation, so a miss can be linearized before the racing insert.
+func (h *Handle[K, V]) usable(sn *node.Node[K, V]) bool {
+	return !sn.Marked(0, h.tr)
+}
+
+// getStart is the paper's Alg. 4: find the closest preceding local entry
+// whose shared node can seed a search, lazily finishing insertions it
+// encounters and pruning entries whose shared nodes are fully retired.
+func (h *Handle[K, V]) getStart(key K) local.Iterator[K, V] {
+	it := h.ls.Floor(key)
+	for it.Valid() {
+		sn := it.Value()
+		if h.usable(sn) {
+			if sn.Inserted() {
+				return it // Node already found fully inserted.
+			}
+			if h.m.sg.FinishInsert(sn, h.updateStartFrom(it), func() *node.Node[K, V] {
+				return h.updateStartFrom(it)
+			}, h.res, h.tr) {
+				return it // Node has just been fully inserted.
+			}
+			// The node was marked before all levels were linked: prune it and
+			// keep walking backward.
+		}
+		prev := it.Prev()
+		h.ls.Erase(it.Key())
+		it = prev
+	}
+	return it
+}
+
+// updateStartFrom is the paper's Alg. 9: a simplified getStart that never
+// finishes insertions — it skips not-fully-inserted nodes and prunes fully
+// retired ones, returning the closest usable, fully inserted shared node (or
+// nil, meaning the head).
+func (h *Handle[K, V]) updateStartFrom(it local.Iterator[K, V]) *node.Node[K, V] {
+	for it.Valid() {
+		sn := it.Value()
+		if h.usable(sn) {
+			if sn.Inserted() {
+				return sn
+			}
+			it = it.Prev()
+			continue
+		}
+		prev := it.Prev()
+		h.ls.Erase(it.Key())
+		it = prev
+	}
+	return nil
+}
+
+// Insert adds key → value, returning false if the key is already present.
+// Values of existing keys are not replaced (set semantics, as in the paper
+// and Synchrobench). In lazy variants a successful insert may *revive* a
+// logically-deleted node of the same key (the paper's case I-ii), restoring
+// the value that key carried before its removal: values are fixed at node
+// allocation because the revival linearizes on a single valid-bit CAS.
+func (h *Handle[K, V]) Insert(key K, value V) bool {
+	defer h.tr.Op()
+	if n, ok := h.ls.HashFind(key); ok {
+		done, inserted := h.m.sg.InsertHelper(n, h.tr)
+		if done {
+			return inserted
+		}
+		h.ls.Erase(key) // The node is marked; prune and fall through.
+	}
+	return h.lazyInsert(key, value)
+}
+
+// lazyInsert is the paper's Alg. 3 plus the layered bookkeeping of Alg. 1.
+func (h *Handle[K, V]) lazyInsert(key K, value V) bool {
+	it := h.getStart(key)
+	start := h.nodeOf(it)
+	var toInsert *node.Node[K, V]
+	for {
+		if h.m.sg.LazyRelinkSearch(key, start, h.vector, h.res, h.tr) {
+			done, inserted := h.m.sg.InsertHelper(h.res.Succs[0], h.tr)
+			if done {
+				if inserted {
+					h.adopt(key, h.res.Succs[0])
+				}
+				return inserted
+			}
+			continue // Succs[0] became marked; retry the search (I-iii).
+		}
+		if toInsert == nil {
+			toInsert = h.m.sg.NewNode(key, value, h.vector, h.owner, h.m.sg.RandomTopLevel(h.rng))
+		}
+		if h.m.sg.LinkLevel0(h.res, toInsert, h.tr) {
+			break // Linearized at the successful CAS (I-iv-a).
+		}
+		start = h.updateStartFrom(it) // Alg. 3 line 15.
+	}
+	h.afterBottomLink(key, toInsert, it)
+	return true
+}
+
+// afterBottomLink completes an insertion after the level-0 link: eager level
+// linking where the protocol requires it, then local-structure bookkeeping.
+func (h *Handle[K, V]) afterBottomLink(key K, toInsert *node.Node[K, V], it local.Iterator[K, V]) {
+	restart := func() *node.Node[K, V] { return h.updateStartFrom(it) }
+	switch {
+	case toInsert.TopLevel() == 0:
+		// Nothing above level 0 (linked-list variant, or a sparse node of
+		// height 0).
+		toInsert.MarkInserted()
+	case !h.m.sg.Lazy():
+		// Non-lazy protocol: link every level before returning.
+		h.m.sg.FinishInsert(toInsert, h.nodeOf(it), restart, h.res, h.tr)
+	case h.m.sg.Sparse() && toInsert.TopLevel() < h.m.sg.MaxLevel():
+		// Lazy + sparse: nodes below the top level never enter the ordered
+		// local structure, so no getStart would ever finish them lazily.
+		// Finish eagerly — cheap, since sparse heights are geometric.
+		h.m.sg.FinishInsert(toInsert, h.nodeOf(it), restart, h.res, h.tr)
+	}
+	if h.m.sg.Sparse() && toInsert.TopLevel() < h.m.sg.MaxLevel() {
+		// Sparse skip graphs keep local structures sparse too: only nodes
+		// that reached the top level are added (paper, Sec. 2).
+		return
+	}
+	h.ls.Put(key, toInsert)
+}
+
+// adopt caches a revived shared node for fast-path hits. Nodes allocated by
+// this thread are already tracked; foreign nodes enter only the hash index —
+// the ordered view holds own-vector nodes exclusively, so every tree entry
+// can seed searches and lazy finishInsert in this thread's skip list.
+func (h *Handle[K, V]) adopt(key K, n *node.Node[K, V]) {
+	if n.OwnerThread() == int32(h.thread) {
+		return
+	}
+	h.ls.PutHashOnly(key, n)
+}
+
+// Remove deletes key, returning false if it was not present.
+func (h *Handle[K, V]) Remove(key K) bool {
+	defer h.tr.Op()
+	if n, ok := h.ls.HashFind(key); ok {
+		done, removed := h.m.sg.RemoveHelper(n, h.tr)
+		if done {
+			if removed && !h.m.sg.Lazy() {
+				// Non-lazy removal marks the node; prune eagerly. The lazy
+				// protocol keeps the mapping (the node may be revived) and
+				// prunes on later detection.
+				h.ls.Erase(key)
+			}
+			return removed
+		}
+		h.ls.Erase(key) // Marked; prune and fall through.
+	}
+	return h.lazyRemove(key)
+}
+
+// lazyRemove is the paper's Alg. 13.
+func (h *Handle[K, V]) lazyRemove(key K) bool {
+	it := h.getStart(key)
+	start := h.nodeOf(it)
+	for {
+		found, ok := h.m.sg.RetireSearch(key, start, h.vector, h.tr)
+		if !ok {
+			return false // Failed removal linearized at the bottom-level miss (R-iv).
+		}
+		done, removed := h.m.sg.RemoveHelper(found, h.tr)
+		if done {
+			return removed
+		}
+		start = h.updateStartFrom(it) // found became marked; retry (R-iii).
+	}
+}
+
+// Contains reports whether key is logically present.
+func (h *Handle[K, V]) Contains(key K) bool {
+	_, ok := h.Get(key)
+	return ok
+}
+
+// Get returns the value stored under key. It is the paper's contains
+// (Algs. 6–7) extended to return the node's value.
+func (h *Handle[K, V]) Get(key K) (V, bool) {
+	defer h.tr.Op()
+	var zero V
+	if n, ok := h.ls.HashFind(key); ok {
+		if !n.Marked(0, h.tr) {
+			marked, valid := n.MarkValid(0, h.tr)
+			if !marked {
+				if valid {
+					return n.Value(), true // Successful contains (C-i).
+				}
+				return zero, false // Unmarked invalid: logically absent.
+			}
+		}
+		h.ls.Erase(key) // Marked; prune and search globally.
+	}
+	it := h.getStart(key)
+	found, ok := h.m.sg.RetireSearch(key, h.nodeOf(it), h.vector, h.tr)
+	if !ok {
+		return zero, false // Failed contains (C-ii).
+	}
+	marked, valid := found.MarkValid(0, h.tr)
+	if !marked && valid {
+		return found.Value(), true // Successful contains (C-iii-a).
+	}
+	return zero, false // Failed contains (C-iii-b).
+}

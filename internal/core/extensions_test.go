@@ -1,0 +1,262 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestAscendOrdered(t *testing.T) {
+	for _, kind := range allKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			m := newMap(t, kind, 4)
+			h := m.Handle(0)
+			keys := rand.New(rand.NewSource(2)).Perm(300)
+			for _, k := range keys {
+				h.Insert(int64(k), int64(k)*2)
+			}
+			for k := int64(0); k < 300; k += 3 {
+				h.Remove(k)
+			}
+			var got []int64
+			h.Ascend(100, func(k, v int64) bool {
+				if v != k*2 {
+					t.Fatalf("value mismatch at %d", k)
+				}
+				got = append(got, k)
+				return true
+			})
+			var want []int64
+			for k := int64(100); k < 300; k++ {
+				if k%3 != 0 {
+					want = append(want, k)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("got %d keys want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("order mismatch at %d: %d vs %d", i, got[i], want[i])
+				}
+			}
+			if c := h.Count(10, 19); c != h.Count(10, 19) || c == 0 {
+				t.Fatalf("Count unstable or zero: %d", c)
+			}
+		})
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	m := newMap(t, LayeredSG, 2)
+	h := m.Handle(0)
+	for k := int64(0); k < 50; k++ {
+		h.Insert(k, k)
+	}
+	visited := 0
+	h.Ascend(0, func(k, _ int64) bool {
+		visited++
+		return k < 9
+	})
+	if visited != 10 {
+		t.Fatalf("visited %d want 10", visited)
+	}
+}
+
+func TestReaderHandle(t *testing.T) {
+	for _, kind := range []Kind{LayeredSG, LazyLayeredSG, LayeredSSG} {
+		t.Run(kind.String(), func(t *testing.T) {
+			m := newMap(t, kind, 4)
+			// Writers fill disjoint ranges and publish their jump indexes.
+			for th := 0; th < 4; th++ {
+				h := m.Handle(th)
+				for k := int64(0); k < 100; k++ {
+					h.Insert(int64(th)*1000+k, k)
+				}
+				h.PublishJumpIndex()
+			}
+			r := m.ReaderHandle(0)
+			for th := 0; th < 4; th++ {
+				for k := int64(0); k < 100; k++ {
+					key := int64(th)*1000 + k
+					if v, ok := r.Get(key); !ok || v != k {
+						t.Fatalf("reader Get(%d) = %v,%v", key, v, ok)
+					}
+				}
+				if r.Contains(int64(th)*1000 + 555) {
+					t.Fatal("reader found absent key")
+				}
+			}
+			// Stale snapshots must never produce wrong answers: remove keys
+			// without republishing.
+			for th := 0; th < 4; th++ {
+				h := m.Handle(th)
+				for k := int64(0); k < 100; k += 2 {
+					h.Remove(int64(th)*1000 + k)
+				}
+			}
+			for th := 0; th < 4; th++ {
+				for k := int64(0); k < 100; k++ {
+					key := int64(th)*1000 + k
+					want := k%2 == 1
+					if got := r.Contains(key); got != want {
+						t.Fatalf("stale-snapshot reader Contains(%d)=%v want %v", key, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestReaderHandleConcurrent(t *testing.T) {
+	m := newMap(t, LazyLayeredSG, 6)
+	var wg sync.WaitGroup
+	// 4 writers churn + publish; 2 readers hammer Contains.
+	for th := 0; th < 4; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			h := m.Handle(th)
+			rng := rand.New(rand.NewSource(int64(th)))
+			for i := 0; i < 2000; i++ {
+				k := rng.Int63n(256)
+				if rng.Intn(2) == 0 {
+					h.Insert(k, k)
+				} else {
+					h.Remove(k)
+				}
+				if i%50 == 0 {
+					h.PublishJumpIndex()
+				}
+			}
+		}(th)
+	}
+	for rth := 0; rth < 2; rth++ {
+		wg.Add(1)
+		go func(rth int) {
+			defer wg.Done()
+			r := m.ReaderHandle(4 + rth)
+			rng := rand.New(rand.NewSource(int64(100 + rth)))
+			for i := 0; i < 4000; i++ {
+				r.Contains(rng.Int63n(256))
+			}
+		}(rth)
+	}
+	wg.Wait()
+	// Post-condition: reader agrees with a writer handle on every key.
+	r := m.ReaderHandle(5)
+	h := m.Handle(0)
+	for k := int64(0); k < 256; k++ {
+		if r.Contains(k) != h.Contains(k) {
+			t.Fatalf("reader/writer disagree on %d", k)
+		}
+	}
+}
+
+func TestRemoveMinRelaxed(t *testing.T) {
+	m := newMap(t, LazyLayeredSG, 4)
+	h := m.Handle(0)
+	const n = 400
+	for k := int64(0); k < n; k++ {
+		h.Insert(k, k)
+	}
+	popped := make(map[int64]bool, n)
+	for i := 0; i < n; i++ {
+		k, v, ok := h.RemoveMinRelaxed(3)
+		if !ok {
+			t.Fatalf("pop %d failed with %d left", i, m.Len())
+		}
+		if v != k {
+			t.Fatalf("value mismatch: %d/%d", k, v)
+		}
+		if popped[k] {
+			t.Fatalf("key %d popped twice", k)
+		}
+		popped[k] = true
+	}
+	if _, _, ok := h.RemoveMinRelaxed(3); ok {
+		t.Fatal("pop on empty succeeded")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("len = %d", m.Len())
+	}
+}
+
+// TestRelaxedOrderQuality: relaxed pops should stay near the front — the
+// p-th pop should be within a small window of p.
+func TestRelaxedOrderQuality(t *testing.T) {
+	m := newMap(t, LayeredSG, 8)
+	h := m.Handle(0)
+	const n = 1000
+	for k := int64(0); k < n; k++ {
+		h.Insert(k, k)
+	}
+	var seq []int64
+	for i := 0; i < 200; i++ {
+		k, _, ok := h.RemoveMinRelaxed(2)
+		if !ok {
+			t.Fatal("pop failed")
+		}
+		seq = append(seq, k)
+	}
+	sorted := append([]int64(nil), seq...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// All 200 pops must come from (roughly) the first few hundred keys: the
+	// spray width bounds the rank error.
+	if max := sorted[len(sorted)-1]; max > 500 {
+		t.Fatalf("relaxed pop wandered too far: popped key %d", max)
+	}
+}
+
+// TestSparseLocalStructuresSmaller is the paper's Sec. 2 claim that sparse
+// skip graphs make the local structures sparse too: only elements that reach
+// the top level enter them, so a thread's ordered local view holds ~1/2^MaxLevel
+// of its insertions (vs. all of them in the non-sparse variant).
+func TestSparseLocalStructuresSmaller(t *testing.T) {
+	const n = 4000
+	dense := newMap(t, LayeredSG, 8) // MaxLevel 2
+	hDense := dense.Handle(0)
+	for k := int64(0); k < n; k++ {
+		hDense.Insert(k, k)
+	}
+	if got := hDense.LocalTreeLen(); got != n {
+		t.Fatalf("dense local tree = %d want %d", got, n)
+	}
+	if got := hDense.LocalHashLen(); got != n {
+		t.Fatalf("dense local hash = %d want %d", got, n)
+	}
+
+	sparse := newMap(t, LayeredSSG, 8)
+	hSparse := sparse.Handle(0)
+	for k := int64(0); k < n; k++ {
+		hSparse.Insert(k, k)
+	}
+	got := float64(hSparse.LocalTreeLen()) / n
+	want := 1.0 / float64(int(1)<<uint(sparse.MaxLevel()))
+	if got < want*0.7 || got > want*1.3 {
+		t.Fatalf("sparse local tree fraction %.4f want ≈%.4f", got, want)
+	}
+	if hSparse.LocalHashLen() != hSparse.LocalTreeLen() {
+		t.Fatalf("sparse hash %d != tree %d", hSparse.LocalHashLen(), hSparse.LocalTreeLen())
+	}
+}
+
+// TestReaderWithNoPublishedIndexes: readers must work (from the head) before
+// any writer publishes.
+func TestReaderWithNoPublishedIndexes(t *testing.T) {
+	m := newMap(t, LayeredSG, 4)
+	h := m.Handle(1)
+	for k := int64(0); k < 20; k++ {
+		h.Insert(k, k)
+	}
+	r := m.ReaderHandle(0)
+	for k := int64(0); k < 20; k++ {
+		if !r.Contains(k) {
+			t.Fatalf("reader missed %d without published indexes", k)
+		}
+	}
+	if r.Contains(99) {
+		t.Fatal("reader found absent key")
+	}
+}

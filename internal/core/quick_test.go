@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestQuickSequentialModel property-tests every variant against exact set
+// semantics over arbitrary single-threaded op sequences, including the
+// remove/re-insert churn that exercises revival and retirement.
+func TestQuickSequentialModel(t *testing.T) {
+	for _, kind := range allKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			f := func(ops []uint16, seed int64) bool {
+				m, err := New[int64, int64](Config{
+					Machine:          testMachine(t, 4),
+					Kind:             kind,
+					CommissionPeriod: time.Microsecond,
+					Seed:             seed,
+				})
+				if err != nil {
+					return false
+				}
+				h := m.Handle(0)
+				model := make(map[int64]bool)
+				for i, raw := range ops {
+					key := int64(raw % 48)
+					switch i % 3 {
+					case 0:
+						if h.Insert(key, key) == model[key] {
+							return false
+						}
+						model[key] = true
+					case 1:
+						if h.Remove(key) != model[key] {
+							return false
+						}
+						delete(model, key)
+					default:
+						if h.Contains(key) != model[key] {
+							return false
+						}
+					}
+				}
+				if m.Len() != len(model) {
+					return false
+				}
+				// Ordered view must agree with the model.
+				prev := int64(-1)
+				okOrder := true
+				seen := 0
+				h.Ascend(0, func(k, _ int64) bool {
+					if k <= prev || !model[k] {
+						okOrder = false
+						return false
+					}
+					prev = k
+					seen++
+					return true
+				})
+				return okOrder && seen == len(model)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestMinConsistency: after every mutation, Min must equal the smallest
+// model key.
+func TestMinConsistency(t *testing.T) {
+	m := newMap(t, LazyLayeredSG, 4)
+	h := m.Handle(0)
+	rng := rand.New(rand.NewSource(77))
+	model := map[int64]bool{}
+	for i := 0; i < 3000; i++ {
+		k := rng.Int63n(64)
+		if rng.Intn(2) == 0 {
+			h.Insert(k, k)
+			model[k] = true
+		} else {
+			h.Remove(k)
+			delete(model, k)
+		}
+		wantMin := int64(-1)
+		for mk := range model {
+			if wantMin == -1 || mk < wantMin {
+				wantMin = mk
+			}
+		}
+		gotMin, _, ok := h.Min()
+		if wantMin == -1 {
+			if ok {
+				t.Fatalf("op %d: Min on empty returned %d", i, gotMin)
+			}
+			continue
+		}
+		if !ok || gotMin != wantMin {
+			t.Fatalf("op %d: Min = %d,%v want %d", i, gotMin, ok, wantMin)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+// Package experiments encodes the paper's evaluation section: each public
+// function regenerates the data behind one table or figure, using the
+// Synchrobench-style harness (internal/sbench), the instrumentation
+// (internal/stats), and the cache simulator (internal/cachesim).
+//
+// Contention scenarios and loads follow Sec. 5: high contention is a 2^8 key
+// space, medium 2^14, low 2^17; write-heavy requests 50 % updates,
+// read-heavy 20 %; structures are preloaded to 20 % of capacity (2.5 % for
+// low contention). Thread counts, durations and run counts are parameters so
+// the same procedures can run paper-scale (96 threads, 5×10 s) or test-scale.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"layeredsg/internal/cachesim"
+	"layeredsg/internal/numa"
+	"layeredsg/internal/sbench"
+	"layeredsg/internal/stats"
+)
+
+// Scenario is a contention level from Sec. 5.
+type Scenario struct {
+	// Name is "HC", "MC", or "LC".
+	Name string
+	// KeySpace is the number of distinct keys.
+	KeySpace int64
+	// PreloadFraction of the key space is inserted before measuring.
+	PreloadFraction float64
+}
+
+// The paper's three contention scenarios.
+var (
+	HC = Scenario{Name: "HC", KeySpace: 1 << 8, PreloadFraction: 0.20}
+	MC = Scenario{Name: "MC", KeySpace: 1 << 14, PreloadFraction: 0.20}
+	LC = Scenario{Name: "LC", KeySpace: 1 << 17, PreloadFraction: 0.025}
+)
+
+// Load is an update mix from Sec. 5.
+type Load struct {
+	// Name is "WH" or "RH".
+	Name string
+	// UpdateRatio is the requested fraction of update operations.
+	UpdateRatio float64
+}
+
+// The paper's two loads.
+var (
+	WH = Load{Name: "WH", UpdateRatio: 0.5}
+	RH = Load{Name: "RH", UpdateRatio: 0.2}
+)
+
+// Params sizes an experiment run.
+type Params struct {
+	// Topology is the simulated machine; nil selects the paper machine.
+	Topology *numa.Topology
+	// Duration per trial (the paper uses 10 s).
+	Duration time.Duration
+	// Runs averaged per configuration (the paper uses 5).
+	Runs int
+	// Seed drives all randomness.
+	Seed int64
+	// LockOSThread pins worker goroutines to OS threads.
+	LockOSThread bool
+	// YieldEvery is the worker yield period (see sbench.Workload.YieldEvery);
+	// 0 selects 1 (yield every operation), which keeps histories genuinely
+	// interleaved when the host has fewer cores than simulated threads. Set
+	// negative to disable yielding on a machine with enough cores.
+	YieldEvery int
+	// Latency simulates NUMA access costs on every instrumented access (see
+	// stats.LatencyModel); nil selects the default model. Supply a zero-cost
+	// model to disable latency charging.
+	Latency *stats.LatencyModel
+}
+
+func (p Params) withDefaults() Params {
+	if p.Topology == nil {
+		p.Topology = numa.PaperMachine()
+	}
+	if p.Duration == 0 {
+		p.Duration = time.Second
+	}
+	if p.Runs == 0 {
+		p.Runs = 1
+	}
+	switch {
+	case p.YieldEvery == 0:
+		p.YieldEvery = 1
+	case p.YieldEvery < 0:
+		p.YieldEvery = 0
+	}
+	if p.Latency == nil {
+		model := stats.DefaultLatencyModel()
+		p.Latency = &model
+	}
+	return p
+}
+
+// newRecorder builds a recorder with the run's latency model attached.
+func (p Params) newRecorder(machine *numa.Machine, sink stats.AccessSink) *stats.Recorder {
+	rec := stats.NewRecorder(machine, sink)
+	rec.SetLatency(*p.Latency)
+	return rec
+}
+
+func (p Params) workload(sc Scenario, load Load, seedShift int64) sbench.Workload {
+	return sbench.Workload{
+		KeySpace:        sc.KeySpace,
+		UpdateRatio:     load.UpdateRatio,
+		Duration:        p.Duration,
+		PreloadFraction: sc.PreloadFraction,
+		Seed:            p.Seed + seedShift,
+		LockOSThread:    p.LockOSThread,
+		YieldEvery:      p.YieldEvery,
+	}
+}
+
+// Builder constructs the named algorithm for a machine; the root package's
+// registry provides one (kept as an injected dependency so this package does
+// not import the structures directly).
+type Builder func(name string, machine *numa.Machine, keySpace int64, recorder *stats.Recorder, seed int64) (sbench.Adapter, error)
+
+// ThroughputPoint is one curve point of Figs. 2–4 / 11–13.
+type ThroughputPoint struct {
+	Algorithm          string
+	Threads            int
+	OpsPerMs           float64
+	EffectiveUpdatePct float64
+}
+
+// ThroughputAlgos is the algorithm set the paper's throughput figures plot.
+var ThroughputAlgos = []string{
+	"layered_map_sg", "lazy_layered_sg", "layered_map_ssg",
+	"layered_map_ll", "layered_map_sl",
+	"skiplist", "lockedskiplist", "skipgraph_nolayer",
+	"nohotspot", "rotating", "numask",
+}
+
+// Throughput regenerates one throughput figure: ops/ms for each algorithm at
+// each thread count under the given scenario and load.
+//
+//	Fig. 2 = Throughput(b, p, HC, WH, ...)    Fig. 11 = (HC, RH)
+//	Fig. 3 = Throughput(b, p, MC, WH, ...)    Fig. 12 = (MC, RH)
+//	Fig. 4 = Throughput(b, p, LC, WH, ...)    Fig. 13 = (LC, RH)
+func Throughput(build Builder, p Params, sc Scenario, load Load, algos []string, threadCounts []int) ([]ThroughputPoint, error) {
+	p = p.withDefaults()
+	var out []ThroughputPoint
+	for _, threads := range threadCounts {
+		machine, err := numa.Pin(p.Topology, threads)
+		if err != nil {
+			return nil, err
+		}
+		for ai, algo := range algos {
+			res, err := sbench.Average(machine, func() (sbench.Adapter, error) {
+				// Throughput trials run instrumented so the latency model
+				// prices local vs. remote accesses into wall-clock time —
+				// the NUMA-performance half of the hardware substitution.
+				return build(algo, machine, sc.KeySpace, p.newRecorder(machine, nil), p.Seed)
+			}, p.workload(sc, load, int64(ai)), p.Runs)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%d threads: %w", algo, threads, err)
+			}
+			out = append(out, ThroughputPoint{
+				Algorithm:          algo,
+				Threads:            threads,
+				OpsPerMs:           res.OpsPerMs,
+				EffectiveUpdatePct: res.EffectiveUpdatePct,
+			})
+		}
+	}
+	return out, nil
+}
+
+// InstrumentedRow is one algorithm's instrumentation summary (Table 1 row
+// group / Fig. 5 point).
+type InstrumentedRow struct {
+	Algorithm string
+	Summary   stats.Summary
+}
+
+// instrumentedTrial runs one recorded trial and returns the recorder.
+func instrumentedTrial(build Builder, p Params, machine *numa.Machine, algo string, sc Scenario, load Load, sink stats.AccessSink) (*stats.Recorder, error) {
+	rec := p.newRecorder(machine, sink)
+	a, err := build(algo, machine, sc.KeySpace, rec, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	defer a.Close()
+	if _, err := sbench.Trial(machine, a, p.workload(sc, load, 0)); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// Table1Algos is the algorithm set of Table 1.
+var Table1Algos = []string{"lazy_layered_sg", "layered_map_sg", "layered_map_sl", "skiplist"}
+
+// Table1 regenerates Table 1: per-operation local/remote reads, local/remote
+// maintenance CAS, and CAS success rate on the HC-WH scenario.
+func Table1(build Builder, p Params, threads int, algos []string) ([]InstrumentedRow, error) {
+	p = p.withDefaults()
+	machine, err := numa.Pin(p.Topology, threads)
+	if err != nil {
+		return nil, err
+	}
+	var rows []InstrumentedRow
+	for _, algo := range algos {
+		rec, err := instrumentedTrial(build, p, machine, algo, HC, WH, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", algo, err)
+		}
+		rows = append(rows, InstrumentedRow{Algorithm: algo, Summary: rec.Summary()})
+	}
+	return rows, nil
+}
+
+// Fig5Algos is the algorithm set whose traversal lengths Fig. 5 compares.
+var Fig5Algos = []string{
+	"lazy_layered_sg", "layered_map_sg", "layered_map_ssg",
+	"skiplist", "skipgraph_nolayer",
+}
+
+// NodesPerSearch regenerates Fig. 5: the average number of shared nodes
+// traversed per search on the MC-WH scenario.
+func NodesPerSearch(build Builder, p Params, threads int, algos []string) ([]InstrumentedRow, error) {
+	p = p.withDefaults()
+	machine, err := numa.Pin(p.Topology, threads)
+	if err != nil {
+		return nil, err
+	}
+	var rows []InstrumentedRow
+	for _, algo := range algos {
+		rec, err := instrumentedTrial(build, p, machine, algo, MC, WH, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", algo, err)
+		}
+		rows = append(rows, InstrumentedRow{Algorithm: algo, Summary: rec.Summary()})
+	}
+	return rows, nil
+}
+
+// HeatmapKind selects the access type of Figs. 6–9 (CAS) or 14–17 (reads).
+type HeatmapKind int
+
+const (
+	// CASHeatmap counts maintenance CAS operations (Figs. 6–9).
+	CASHeatmap HeatmapKind = iota + 1
+	// ReadHeatmap counts reads (Figs. 14–17).
+	ReadHeatmap
+)
+
+// HeatmapAlgos is the algorithm set of the heatmap figures.
+var HeatmapAlgos = []string{"lazy_layered_sg", "layered_map_sg", "layered_map_ssg", "skiplist"}
+
+// HeatmapResult is one heatmap figure: H[i][j] accesses by thread i to nodes
+// allocated by thread j, plus the per-distance aggregation supporting the
+// paper's distance-gradient claim.
+type HeatmapResult struct {
+	Algorithm  string
+	Matrix     [][]uint64
+	ByDistance map[int]float64
+}
+
+// Heatmaps regenerates Figs. 6–9 / 14–17 on the MC-WH scenario.
+func Heatmaps(build Builder, p Params, threads int, kind HeatmapKind, algos []string) ([]HeatmapResult, error) {
+	p = p.withDefaults()
+	machine, err := numa.Pin(p.Topology, threads)
+	if err != nil {
+		return nil, err
+	}
+	var out []HeatmapResult
+	for _, algo := range algos {
+		rec, err := instrumentedTrial(build, p, machine, algo, MC, WH, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", algo, err)
+		}
+		var matrix [][]uint64
+		switch kind {
+		case CASHeatmap:
+			matrix = rec.CASHeatmap()
+		case ReadHeatmap:
+			matrix = rec.ReadHeatmap()
+		default:
+			return nil, fmt.Errorf("experiments: unknown heatmap kind %d", int(kind))
+		}
+		out = append(out, HeatmapResult{
+			Algorithm:  algo,
+			Matrix:     matrix,
+			ByDistance: rec.LocalityByDistance(matrix),
+		})
+	}
+	return out, nil
+}
+
+// Table2Algos is the algorithm set of Table 2.
+var Table2Algos = []string{"lazy_layered_sg", "layered_map_sg", "layered_map_ssg", "skiplist"}
+
+// Table2Row is one (algorithm, threads) cell group of Table 2.
+type Table2Row struct {
+	Algorithm  string
+	Threads    int
+	L1, L2, L3 float64 // misses per operation
+}
+
+// Table2 regenerates Table 2: modelled cache misses per operation on the
+// HC-WH scenario at each thread count (the paper reports 8/16/32).
+func Table2(build Builder, p Params, threadCounts []int, algos []string) ([]Table2Row, error) {
+	p = p.withDefaults()
+	var rows []Table2Row
+	for _, threads := range threadCounts {
+		machine, err := numa.Pin(p.Topology, threads)
+		if err != nil {
+			return nil, err
+		}
+		for _, algo := range algos {
+			sim := cachesim.New(machine, cachesim.Config{})
+			rec, err := instrumentedTrial(build, p, machine, algo, HC, WH, sim)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%d: %w", algo, threads, err)
+			}
+			l1, l2, l3 := sim.Misses().PerOp(rec.Summary().Ops)
+			rows = append(rows, Table2Row{Algorithm: algo, Threads: threads, L1: l1, L2: l2, L3: l3})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"layeredsg/internal/direct"
+	"layeredsg/internal/numa"
+	"layeredsg/internal/sbench"
+	"layeredsg/internal/stats"
+)
+
+// testBuilder wires only the direct skip list — enough to exercise every
+// experiment procedure without importing the root registry (which would be
+// an import cycle in the real wiring's direction).
+func testBuilder(t *testing.T) Builder {
+	t.Helper()
+	return func(name string, machine *numa.Machine, keySpace int64, rec *stats.Recorder, seed int64) (sbench.Adapter, error) {
+		m, err := direct.New[int64, int64](direct.Config{
+			Machine:  machine,
+			Shape:    direct.SkipList,
+			Height:   8,
+			Recorder: rec,
+			Seed:     seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return testAdapter{name: name, m: m}, nil
+	}
+}
+
+type testAdapter struct {
+	name string
+	m    *direct.Map[int64, int64]
+}
+
+func (a testAdapter) Name() string                 { return a.name }
+func (a testAdapter) Handle(t int) sbench.OpHandle { return a.m.Handle(t) }
+func (a testAdapter) Close()                       {}
+
+func fastParams() Params {
+	zero := stats.LatencyModel{}
+	return Params{
+		Topology: mustTopo(),
+		Duration: 20 * time.Millisecond,
+		Runs:     1,
+		Seed:     5,
+		Latency:  &zero,
+	}
+}
+
+func mustTopo() *numa.Topology {
+	topo, err := numa.New(2, 2, 2)
+	if err != nil {
+		panic(err)
+	}
+	return topo
+}
+
+func TestScenarioDefinitions(t *testing.T) {
+	if HC.KeySpace != 1<<8 || MC.KeySpace != 1<<14 || LC.KeySpace != 1<<17 {
+		t.Fatal("contention key spaces wrong")
+	}
+	if HC.PreloadFraction != 0.20 || LC.PreloadFraction != 0.025 {
+		t.Fatal("preload fractions wrong")
+	}
+	if WH.UpdateRatio != 0.5 || RH.UpdateRatio != 0.2 {
+		t.Fatal("loads wrong")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	points, err := Throughput(testBuilder(t), fastParams(), HC, WH, []string{"skiplist"}, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, pt := range points {
+		if pt.OpsPerMs <= 0 {
+			t.Fatalf("no throughput: %+v", pt)
+		}
+	}
+	var tbl, csv bytes.Buffer
+	if err := WriteThroughputTable(&tbl, "test", points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "skiplist") {
+		t.Fatalf("table missing algorithm:\n%s", tbl.String())
+	}
+	if err := WriteThroughputCSV(&csv, points); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(csv.String(), "\n"); got != 3 {
+		t.Fatalf("csv lines = %d", got)
+	}
+}
+
+func TestTable1AndFig5(t *testing.T) {
+	rows, err := Table1(testBuilder(t), fastParams(), 4, []string{"skiplist"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Summary.Ops == 0 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable1(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"local reads/op", "CAS success rate"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("table1 missing %q", want)
+		}
+	}
+
+	nps, err := NodesPerSearch(testBuilder(t), fastParams(), 4, []string{"skiplist"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nps[0].Summary.NodesPerSearch <= 0 {
+		t.Fatal("no traversal data")
+	}
+	buf.Reset()
+	if err := WriteNodesPerSearch(&buf, nps); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "nodes/search") {
+		t.Fatal("fig5 header missing")
+	}
+}
+
+func TestHeatmaps(t *testing.T) {
+	for _, kind := range []HeatmapKind{CASHeatmap, ReadHeatmap} {
+		res, err := Heatmaps(testBuilder(t), fastParams(), 4, kind, []string{"skiplist"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := res[0]
+		if len(h.Matrix) != 4 {
+			t.Fatalf("matrix dim = %d", len(h.Matrix))
+		}
+		var total uint64
+		for _, row := range h.Matrix {
+			for _, v := range row {
+				total += v
+			}
+		}
+		if kind == ReadHeatmap && total == 0 {
+			t.Fatal("empty read heatmap")
+		}
+		if len(h.ByDistance) == 0 {
+			t.Fatal("no distance aggregation")
+		}
+		var ascii, csv bytes.Buffer
+		if err := WriteHeatmapASCII(&ascii, h, 2); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(ascii.String(), "distance") {
+			t.Fatal("ascii missing distance summary")
+		}
+		if err := WriteHeatmapCSV(&csv, h); err != nil {
+			t.Fatal(err)
+		}
+		if got := strings.Count(csv.String(), "\n"); got != 4 {
+			t.Fatalf("csv rows = %d", got)
+		}
+	}
+	if _, err := Heatmaps(testBuilder(t), fastParams(), 4, HeatmapKind(9), []string{"skiplist"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rows, err := Table2(testBuilder(t), fastParams(), []int{2, 4}, []string{"skiplist"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].L1 <= 0 {
+		t.Fatal("no L1 misses recorded")
+	}
+	var buf bytes.Buffer
+	if err := WriteTable2(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "L1/op") {
+		t.Fatal("table2 header missing")
+	}
+}
+
+func TestFig10(t *testing.T) {
+	rows, err := Fig10(4, 4000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].SkipListOccupancy != 1 {
+		t.Fatal("level-0 occupancy must be 1")
+	}
+	// Monotonically decreasing occupancy, roughly geometric.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].SkipListOccupancy >= rows[i-1].SkipListOccupancy {
+			t.Fatalf("occupancy not decreasing at level %d", i)
+		}
+	}
+	if rows[1].SkipListOccupancy < 0.4 || rows[1].SkipListOccupancy > 0.6 {
+		t.Fatalf("level-1 occupancy %.3f not ≈0.5", rows[1].SkipListOccupancy)
+	}
+	var buf bytes.Buffer
+	if err := WriteFig10(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "expect 1/2^i") {
+		t.Fatal("fig10 header missing")
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{}.withDefaults()
+	if p.Topology == nil || p.Duration == 0 || p.Runs != 1 {
+		t.Fatalf("defaults wrong: %+v", p)
+	}
+	if p.YieldEvery != 1 {
+		t.Fatalf("YieldEvery default = %d want 1", p.YieldEvery)
+	}
+	if p.Latency == nil {
+		t.Fatal("latency default missing")
+	}
+	p2 := Params{YieldEvery: -1}.withDefaults()
+	if p2.YieldEvery != 0 {
+		t.Fatal("negative YieldEvery should disable")
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"layeredsg/internal/node"
+	"layeredsg/internal/skipgraph"
+)
+
+// Fig10Row is one level's occupancy in a sparse skip graph.
+type Fig10Row struct {
+	Level int
+	// SkipListOccupancy is the fraction of elements present at this level of
+	// their own skip list (expectation 1/2^level, Fig. 10).
+	SkipListOccupancy float64
+	// ListOccupancy is the fraction present in one particular linked list
+	// (expectation 1/4^level: partitioning × sparsity).
+	ListOccupancy float64
+}
+
+// Fig10 builds a sparse skip graph, inserts n keys with uniformly spread
+// membership vectors, and measures per-level occupancy — the structural
+// property Fig. 10 illustrates.
+func Fig10(maxLevel int, n int, seed int64) ([]Fig10Row, error) {
+	sg, err := skipgraph.New[int64, int64](skipgraph.Config{MaxLevel: maxLevel, Sparse: true})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vectors := 1 << uint(maxLevel)
+	res := sg.NewSearchResult()
+	atLeast := make([]int, maxLevel+1)
+	for i := 0; i < n; i++ {
+		key := int64(i)
+		vector := uint32(rng.Intn(vectors))
+		top := sg.RandomTopLevel(rng)
+		for l := 0; l <= top; l++ {
+			atLeast[l]++
+		}
+		if sg.LazyRelinkSearch(key, nil, vector, res, nil) {
+			return nil, fmt.Errorf("fig10: duplicate key %d", key)
+		}
+		nd := sg.NewNode(key, key, vector, node.Owner{}, top)
+		if !sg.LinkLevel0(res, nd, nil) {
+			return nil, fmt.Errorf("fig10: level-0 link failed for %d", key)
+		}
+		if top == 0 {
+			nd.MarkInserted()
+		} else if !sg.FinishInsert(nd, nil, nil, res, nil) {
+			return nil, fmt.Errorf("fig10: finishInsert failed for %d", key)
+		}
+	}
+	rows := make([]Fig10Row, 0, maxLevel+1)
+	for level := 0; level <= maxLevel; level++ {
+		listLen := sg.LevelLen(level, 0)
+		rows = append(rows, Fig10Row{
+			Level:             level,
+			SkipListOccupancy: float64(atLeast[level]) / float64(n),
+			ListOccupancy:     float64(listLen) / float64(n),
+		})
+	}
+	return rows, nil
+}
+
+// WriteFig10 renders Fig. 10's occupancy rows next to their expectations.
+func WriteFig10(w io.Writer, rows []Fig10Row) error {
+	if _, err := fmt.Fprintln(w, "level\tskip-list occupancy\texpect 1/2^i\tlist-0 occupancy\texpect 1/4^i"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%d\t%.4f\t%.4f\t%.4f\t%.4f\n",
+			r.Level, r.SkipListOccupancy, 1/float64(int64(1)<<uint(r.Level)),
+			r.ListOccupancy, 1/float64(int64(1)<<uint(2*r.Level))); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteThroughputTable renders throughput points as an aligned table, one
+// row per thread count and one column per algorithm — the textual form of a
+// throughput figure.
+func WriteThroughputTable(w io.Writer, title string, points []ThroughputPoint) error {
+	byAlgo := map[string]map[int]ThroughputPoint{}
+	var algos []string
+	threadSet := map[int]bool{}
+	for _, pt := range points {
+		if byAlgo[pt.Algorithm] == nil {
+			byAlgo[pt.Algorithm] = map[int]ThroughputPoint{}
+			algos = append(algos, pt.Algorithm)
+		}
+		byAlgo[pt.Algorithm][pt.Threads] = pt
+		threadSet[pt.Threads] = true
+	}
+	var threads []int
+	for t := range threadSet {
+		threads = append(threads, t)
+	}
+	sort.Ints(threads)
+
+	if _, err := fmt.Fprintf(w, "# %s (ops/ms)\n", title); err != nil {
+		return err
+	}
+	header := []string{"threads"}
+	header = append(header, algos...)
+	if _, err := fmt.Fprintln(w, strings.Join(header, "\t")); err != nil {
+		return err
+	}
+	for _, t := range threads {
+		row := []string{fmt.Sprintf("%d", t)}
+		for _, a := range algos {
+			row = append(row, fmt.Sprintf("%.0f", byAlgo[a][t].OpsPerMs))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteThroughputCSV renders throughput points as CSV.
+func WriteThroughputCSV(w io.Writer, points []ThroughputPoint) error {
+	if _, err := fmt.Fprintln(w, "algorithm,threads,ops_per_ms,effective_update_pct"); err != nil {
+		return err
+	}
+	for _, pt := range points {
+		if _, err := fmt.Fprintf(w, "%s,%d,%.2f,%.2f\n",
+			pt.Algorithm, pt.Threads, pt.OpsPerMs, pt.EffectiveUpdatePct); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTable1 renders Table 1's rows.
+func WriteTable1(w io.Writer, rows []InstrumentedRow) error {
+	if _, err := fmt.Fprintln(w, "metric\t"+joinAlgos(rows)); err != nil {
+		return err
+	}
+	lines := []struct {
+		label string
+		get   func(InstrumentedRow) float64
+	}{
+		{"local reads/op", func(r InstrumentedRow) float64 { return r.Summary.LocalReadsPerOp }},
+		{"remote reads/op", func(r InstrumentedRow) float64 { return r.Summary.RemoteReadsPerOp }},
+		{"local maintenance CAS/op", func(r InstrumentedRow) float64 { return r.Summary.LocalCASPerOp }},
+		{"remote maintenance CAS/op", func(r InstrumentedRow) float64 { return r.Summary.RemoteCASPerOp }},
+		{"CAS success rate", func(r InstrumentedRow) float64 { return r.Summary.CASSuccessRate }},
+	}
+	for _, line := range lines {
+		cells := []string{line.label}
+		for _, r := range rows {
+			cells = append(cells, fmt.Sprintf("%.4f", line.get(r)))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteNodesPerSearch renders Fig. 5's series.
+func WriteNodesPerSearch(w io.Writer, rows []InstrumentedRow) error {
+	if _, err := fmt.Fprintln(w, "algorithm\tnodes/search"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s\t%.2f\n", r.Algorithm, r.Summary.NodesPerSearch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTable2 renders Table 2's rows.
+func WriteTable2(w io.Writer, rows []Table2Row) error {
+	if _, err := fmt.Fprintln(w, "algorithm\tthreads\tL1/op\tL2/op\tL3/op"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s\t%d\t%.2f\t%.2f\t%.2f\n",
+			r.Algorithm, r.Threads, r.L1, r.L2, r.L3); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteHeatmapCSV renders a full heatmap matrix as CSV (row = accessing
+// thread, column = allocating thread).
+func WriteHeatmapCSV(w io.Writer, h HeatmapResult) error {
+	for _, row := range h.Matrix {
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = fmt.Sprintf("%d", v)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteHeatmapASCII renders a coarse ASCII shade plot of a heatmap, bucketing
+// threads so wide matrices fit a terminal, plus the per-distance summary.
+func WriteHeatmapASCII(w io.Writer, h HeatmapResult, buckets int) error {
+	n := len(h.Matrix)
+	if n == 0 {
+		_, err := fmt.Fprintln(w, "(empty)")
+		return err
+	}
+	if buckets <= 0 || buckets > n {
+		buckets = n
+	}
+	agg := make([][]float64, buckets)
+	for i := range agg {
+		agg[i] = make([]float64, buckets)
+	}
+	var max float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			bi, bj := i*buckets/n, j*buckets/n
+			agg[bi][bj] += float64(h.Matrix[i][j])
+			if agg[bi][bj] > max {
+				max = agg[bi][bj]
+			}
+		}
+	}
+	shades := []byte(" .:-=+*#%@")
+	if _, err := fmt.Fprintf(w, "# %s — rows: accessing thread buckets, cols: allocating thread buckets\n", h.Algorithm); err != nil {
+		return err
+	}
+	for i := 0; i < buckets; i++ {
+		var b strings.Builder
+		for j := 0; j < buckets; j++ {
+			idx := 0
+			if max > 0 {
+				idx = int(agg[i][j] / max * float64(len(shades)-1))
+			}
+			b.WriteByte(shades[idx])
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	var dists []int
+	for d := range h.ByDistance {
+		dists = append(dists, d)
+	}
+	sort.Ints(dists)
+	for _, d := range dists {
+		if _, err := fmt.Fprintf(w, "distance %d: %.1f accesses/thread-pair\n", d, h.ByDistance[d]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func joinAlgos(rows []InstrumentedRow) string {
+	names := make([]string, len(rows))
+	for i, r := range rows {
+		names[i] = r.Algorithm
+	}
+	return strings.Join(names, "\t")
+}

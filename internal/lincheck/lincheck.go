@@ -1,0 +1,271 @@
+// Package lincheck is a linearizability checker for concurrent set/map
+// histories, in the style of Wing & Gong's algorithm with memoization.
+//
+// The paper argues each operation's linearization point informally (cases
+// I-i..I-iv, R-i..R-iv, C-i..C-iii); this package checks the claim
+// mechanically: record a concurrent history of insert/remove/contains
+// invocations and responses with their real-time order, then search for a
+// sequential ordering that (a) respects real-time precedence — if operation
+// A returned before operation B was invoked, A must come first — and (b)
+// makes every response correct for a sequential set.
+//
+// The search is exponential in the worst case but histories of a few dozen
+// operations over a small key space check in microseconds thanks to
+// memoization on (linearized-set, abstract-state) pairs.
+package lincheck
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Kind is an operation type.
+type Kind uint8
+
+const (
+	// Insert is insert(key) returning whether the key was absent.
+	Insert Kind = iota + 1
+	// Remove is remove(key) returning whether the key was present.
+	Remove
+	// Contains is contains(key) returning presence.
+	Contains
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Insert:
+		return "insert"
+	case Remove:
+		return "remove"
+	case Contains:
+		return "contains"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Op is one completed operation in a history.
+type Op struct {
+	// Kind, Key, Result describe the operation and its observed return.
+	Kind   Kind
+	Key    int64
+	Result bool
+	// Call and Return are global timestamps drawn from the History's clock:
+	// Call strictly before the operation started, Return strictly after it
+	// completed.
+	Call   int64
+	Return int64
+	// Thread labels the recording thread (diagnostics only).
+	Thread int
+}
+
+func (o Op) String() string {
+	return fmt.Sprintf("t%d %s(%d)=%v [%d,%d]", o.Thread, o.Kind, o.Key, o.Result, o.Call, o.Return)
+}
+
+// History collects operations concurrently. Use one Recorder per thread.
+type History struct {
+	clock atomic.Int64
+	ops   []*threadOps
+}
+
+type threadOps struct {
+	ops []Op
+	_   [64]byte //nolint:unused // keep recorders off each other's lines
+}
+
+// NewHistory creates a history for `threads` recording threads.
+func NewHistory(threads int) *History {
+	h := &History{ops: make([]*threadOps, threads)}
+	for i := range h.ops {
+		h.ops[i] = &threadOps{}
+	}
+	return h
+}
+
+// Recorder returns thread t's recorder; confine it to one goroutine.
+func (h *History) Recorder(t int) *Recorder {
+	return &Recorder{h: h, thread: t}
+}
+
+// Ops returns every recorded operation. Call after all recorders stop.
+func (h *History) Ops() []Op {
+	var all []Op
+	for _, t := range h.ops {
+		all = append(all, t.ops...)
+	}
+	return all
+}
+
+// Recorder records one thread's operations.
+type Recorder struct {
+	h      *History
+	thread int
+}
+
+// Record wraps one operation: it stamps the invocation, runs fn, stamps the
+// response, and stores the completed Op.
+func (r *Recorder) Record(kind Kind, key int64, fn func() bool) bool {
+	call := r.h.clock.Add(1)
+	result := fn()
+	ret := r.h.clock.Add(1)
+	t := r.h.ops[r.thread]
+	t.ops = append(t.ops, Op{
+		Kind: kind, Key: key, Result: result,
+		Call: call, Return: ret, Thread: r.thread,
+	})
+	return result
+}
+
+// Result reports a check outcome.
+type Result struct {
+	// Linearizable is true when a valid sequential order exists.
+	Linearizable bool
+	// Witness is one valid linearization (indices into Ops order), present
+	// when Linearizable.
+	Witness []Op
+	// Explored counts search states (diagnostics).
+	Explored int
+}
+
+// Check searches for a linearization of the history. The key space of the
+// history should be small (≤ ~16 distinct keys) and the operation count
+// moderate (≤ ~40) for the search to stay fast.
+func Check(ops []Op) Result {
+	n := len(ops)
+	if n == 0 {
+		return Result{Linearizable: true}
+	}
+	if n > 63 {
+		// The mask-based memoization supports up to 63 ops.
+		panic(fmt.Sprintf("lincheck: history too large (%d ops)", n))
+	}
+	sorted := make([]Op, n)
+	copy(sorted, ops)
+	// Sorting by invocation keeps candidate scans cheap and witness output
+	// stable; correctness does not depend on it.
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Call < sorted[j].Call })
+
+	keys := distinctKeys(sorted)
+	if len(keys) > 32 {
+		panic(fmt.Sprintf("lincheck: key space too large (%d keys)", len(keys)))
+	}
+	keyIdx := make(map[int64]int, len(keys))
+	for i, k := range keys {
+		keyIdx[k] = i
+	}
+
+	c := &checker{
+		ops:    sorted,
+		keyIdx: keyIdx,
+		memo:   make(map[memoKey]bool),
+	}
+	var witness []Op
+	if c.search(0, 0, &witness) {
+		// Witness was appended in reverse completion order.
+		for i, j := 0, len(witness)-1; i < j; i, j = i+1, j-1 {
+			witness[i], witness[j] = witness[j], witness[i]
+		}
+		return Result{Linearizable: true, Witness: witness, Explored: c.explored}
+	}
+	return Result{Linearizable: false, Explored: c.explored}
+}
+
+func distinctKeys(ops []Op) []int64 {
+	seen := map[int64]bool{}
+	var keys []int64
+	for _, o := range ops {
+		if !seen[o.Key] {
+			seen[o.Key] = true
+			keys = append(keys, o.Key)
+		}
+	}
+	return keys
+}
+
+type memoKey struct {
+	done  uint64 // bitmask of linearized ops
+	state uint32 // abstract set state (bit per key)
+}
+
+type checker struct {
+	ops      []Op
+	keyIdx   map[int64]int
+	memo     map[memoKey]bool
+	explored int
+}
+
+// search tries to linearize the remaining operations given `done` already
+// linearized and abstract state `state`. Returns true if a completion
+// exists; on success appends the chosen ops to witness (reverse order).
+func (c *checker) search(done uint64, state uint32, witness *[]Op) bool {
+	n := len(c.ops)
+	if done == uint64(1)<<n-1 {
+		return true
+	}
+	mk := memoKey{done: done, state: state}
+	if ok, seen := c.memo[mk]; seen {
+		// memo stores only failures; successes return immediately.
+		_ = ok
+		return false
+	}
+	c.explored++
+
+	// minReturn = the earliest response among unlinearized ops: any op whose
+	// invocation happens after that response cannot be linearized next.
+	minReturn := int64(1) << 62
+	for i, op := range c.ops {
+		if done&(1<<i) == 0 && op.Return < minReturn {
+			minReturn = op.Return
+		}
+	}
+	for i, op := range c.ops {
+		if done&(1<<i) != 0 {
+			continue
+		}
+		if op.Call > minReturn {
+			// Some unlinearized op returned before this one was invoked;
+			// real-time order forbids choosing it yet. ops are sorted by
+			// Call, so no later op qualifies either.
+			break
+		}
+		next, ok := c.apply(state, op)
+		if !ok {
+			continue
+		}
+		if c.search(done|uint64(1)<<i, next, witness) {
+			*witness = append(*witness, op)
+			return true
+		}
+	}
+	c.memo[mk] = false
+	return false
+}
+
+// apply runs op against the abstract set, returning the next state and
+// whether the recorded result matches sequential semantics.
+func (c *checker) apply(state uint32, op Op) (uint32, bool) {
+	bit := uint32(1) << c.keyIdx[op.Key]
+	present := state&bit != 0
+	switch op.Kind {
+	case Insert:
+		if op.Result == present {
+			return 0, false
+		}
+		return state | bit, true
+	case Remove:
+		if op.Result != present {
+			return 0, false
+		}
+		return state &^ bit, true
+	case Contains:
+		if op.Result != present {
+			return 0, false
+		}
+		return state, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,234 @@
+package lincheck
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// seqOps builds a history from explicit (kind,key,result,call,return) rows.
+func mkOps(rows [][5]int64) []Op {
+	ops := make([]Op, len(rows))
+	for i, r := range rows {
+		ops[i] = Op{
+			Kind: Kind(r[0]), Key: r[1], Result: r[2] == 1,
+			Call: r[3], Return: r[4],
+		}
+	}
+	return ops
+}
+
+func TestEmptyHistory(t *testing.T) {
+	if !Check(nil).Linearizable {
+		t.Fatal("empty history not linearizable")
+	}
+}
+
+func TestSequentialValid(t *testing.T) {
+	ops := mkOps([][5]int64{
+		{int64(Insert), 1, 1, 1, 2},
+		{int64(Contains), 1, 1, 3, 4},
+		{int64(Remove), 1, 1, 5, 6},
+		{int64(Contains), 1, 0, 7, 8},
+		{int64(Remove), 1, 0, 9, 10},
+	})
+	res := Check(ops)
+	if !res.Linearizable {
+		t.Fatal("valid sequential history rejected")
+	}
+	if len(res.Witness) != len(ops) {
+		t.Fatalf("witness length %d", len(res.Witness))
+	}
+	// Witness must itself be sequentially valid and real-time ordered.
+	for i := 1; i < len(res.Witness); i++ {
+		if res.Witness[i-1].Call > res.Witness[i].Return {
+			t.Fatal("witness violates real-time order")
+		}
+	}
+}
+
+func TestSequentialInvalid(t *testing.T) {
+	// contains(1)=true before any insert.
+	ops := mkOps([][5]int64{
+		{int64(Contains), 1, 1, 1, 2},
+		{int64(Insert), 1, 1, 3, 4},
+	})
+	if Check(ops).Linearizable {
+		t.Fatal("invalid history accepted")
+	}
+}
+
+func TestOverlapAllowsReordering(t *testing.T) {
+	// insert(1) and contains(1)=false overlap: contains may linearize first.
+	ops := mkOps([][5]int64{
+		{int64(Insert), 1, 1, 1, 4},
+		{int64(Contains), 1, 0, 2, 3},
+	})
+	if !Check(ops).Linearizable {
+		t.Fatal("overlapping reordering rejected")
+	}
+	// But if contains(1)=false is invoked strictly after insert returned,
+	// there is no valid order.
+	ops2 := mkOps([][5]int64{
+		{int64(Insert), 1, 1, 1, 2},
+		{int64(Contains), 1, 0, 3, 4},
+	})
+	if Check(ops2).Linearizable {
+		t.Fatal("real-time violation accepted")
+	}
+}
+
+func TestDuplicateInsertSemantics(t *testing.T) {
+	// Two non-overlapping inserts of the same key cannot both return true
+	// without a remove in between.
+	ops := mkOps([][5]int64{
+		{int64(Insert), 7, 1, 1, 2},
+		{int64(Insert), 7, 1, 3, 4},
+	})
+	if Check(ops).Linearizable {
+		t.Fatal("double successful insert accepted")
+	}
+	// Overlapping double-success is also impossible for a set.
+	ops2 := mkOps([][5]int64{
+		{int64(Insert), 7, 1, 1, 3},
+		{int64(Insert), 7, 1, 2, 4},
+	})
+	if Check(ops2).Linearizable {
+		t.Fatal("concurrent double successful insert accepted")
+	}
+}
+
+func TestLostUpdateDetected(t *testing.T) {
+	// insert(1)=true, then two sequential contains: true then false, with no
+	// remove — the second contains observed a lost update.
+	ops := mkOps([][5]int64{
+		{int64(Insert), 1, 1, 1, 2},
+		{int64(Contains), 1, 1, 3, 4},
+		{int64(Contains), 1, 0, 5, 6},
+	})
+	if Check(ops).Linearizable {
+		t.Fatal("lost update accepted")
+	}
+}
+
+func TestMultiKeyIndependence(t *testing.T) {
+	ops := mkOps([][5]int64{
+		{int64(Insert), 1, 1, 1, 10},
+		{int64(Insert), 2, 1, 2, 9},
+		{int64(Contains), 1, 0, 3, 4}, // fine: insert(1) still pending
+		{int64(Contains), 2, 1, 5, 6}, // fine: insert(2) may have landed
+		{int64(Remove), 1, 1, 11, 12},
+		{int64(Remove), 2, 1, 11, 13},
+	})
+	if !Check(ops).Linearizable {
+		t.Fatal("independent multi-key history rejected")
+	}
+}
+
+// racyMap is a deliberately non-linearizable "set": check-then-act without
+// atomicity. The checker must catch it under contention.
+type racyMap struct {
+	mu   sync.Mutex
+	data map[int64]bool
+}
+
+func (m *racyMap) contains(k int64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.data[k]
+}
+
+func (m *racyMap) insert(k int64) bool {
+	if m.contains(k) {
+		return false
+	}
+	runtime.Gosched() // widen the lost-update window so 1-core hosts hit it
+	m.mu.Lock()
+	m.data[k] = true
+	m.mu.Unlock()
+	return true
+}
+
+func (m *racyMap) remove(k int64) bool {
+	if !m.contains(k) {
+		return false
+	}
+	m.mu.Lock()
+	delete(m.data, k)
+	m.mu.Unlock()
+	return true
+}
+
+func TestRecorderAndRacyMapCaught(t *testing.T) {
+	// Drive the racy map hard; at least one round must produce a
+	// non-linearizable history (two concurrent inserts both succeeding).
+	caught := false
+	for round := 0; round < 300 && !caught; round++ {
+		m := &racyMap{data: make(map[int64]bool)}
+		h := NewHistory(4)
+		var wg sync.WaitGroup
+		for th := 0; th < 4; th++ {
+			wg.Add(1)
+			go func(th int) {
+				defer wg.Done()
+				r := h.Recorder(th)
+				for i := 0; i < 4; i++ {
+					key := int64((th + i) % 2)
+					switch (th + i) % 3 {
+					case 0:
+						r.Record(Insert, key, func() bool { return m.insert(key) })
+					case 1:
+						r.Record(Remove, key, func() bool { return m.remove(key) })
+					default:
+						r.Record(Contains, key, func() bool { return m.contains(key) })
+					}
+				}
+			}(th)
+		}
+		wg.Wait()
+		if !Check(h.Ops()).Linearizable {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Skip("racy map never produced a violation on this host (timing-dependent)")
+	}
+}
+
+func TestWitnessValidity(t *testing.T) {
+	ops := mkOps([][5]int64{
+		{int64(Insert), 1, 1, 1, 6},
+		{int64(Remove), 1, 1, 2, 5},
+		{int64(Contains), 1, 0, 3, 4},
+	})
+	res := Check(ops)
+	if !res.Linearizable {
+		t.Fatal("valid overlapping history rejected")
+	}
+	// Replay the witness sequentially and validate every result.
+	state := map[int64]bool{}
+	for _, op := range res.Witness {
+		switch op.Kind {
+		case Insert:
+			if op.Result == state[op.Key] {
+				t.Fatalf("witness step invalid: %v", op)
+			}
+			state[op.Key] = true
+		case Remove:
+			if op.Result != state[op.Key] {
+				t.Fatalf("witness step invalid: %v", op)
+			}
+			delete(state, op.Key)
+		case Contains:
+			if op.Result != state[op.Key] {
+				t.Fatalf("witness step invalid: %v", op)
+			}
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Insert.String() != "insert" || Remove.String() != "remove" || Contains.String() != "contains" {
+		t.Fatal("kind names wrong")
+	}
+}

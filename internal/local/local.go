@@ -1,0 +1,78 @@
+// Package local implements the paper's thread-local "local structure": a
+// sequential navigable map (internal/rbtree, the std::map counterpart) paired
+// with a hash index consulted first (the paper pairs std::map with a
+// Robin-Hood hash table; Go's built-in map plays that role here).
+//
+// A local structure maps keys inserted by its owning thread to the
+// corresponding shared nodes. The tree provides ordered backward traversal
+// for getStart/updateStart; the hash index provides O(1) hits for the
+// speculative fast paths of insert, remove, and contains. Instances are
+// strictly single-threaded.
+package local
+
+import (
+	"cmp"
+
+	"layeredsg/internal/node"
+	"layeredsg/internal/rbtree"
+)
+
+// Structure is one thread's local structure.
+type Structure[K cmp.Ordered, V any] struct {
+	tree *rbtree.Tree[K, *node.Node[K, V]]
+	hash map[K]*node.Node[K, V]
+}
+
+// Iterator walks the ordered view of the local structure.
+type Iterator[K cmp.Ordered, V any] = rbtree.Iterator[K, *node.Node[K, V]]
+
+// New returns an empty local structure.
+func New[K cmp.Ordered, V any]() *Structure[K, V] {
+	return &Structure[K, V]{
+		tree: rbtree.New[K, *node.Node[K, V]](),
+		hash: make(map[K]*node.Node[K, V]),
+	}
+}
+
+// Put records the mapping key → shared node in both the tree and the hash
+// index.
+func (s *Structure[K, V]) Put(key K, n *node.Node[K, V]) {
+	s.tree.Set(key, n)
+	s.hash[key] = n
+}
+
+// PutHashOnly records the mapping in the hash index only. Sparse skip graphs
+// add to the ordered view only nodes that reached the top level; every owned
+// node may still serve the hash fast paths.
+func (s *Structure[K, V]) PutHashOnly(key K, n *node.Node[K, V]) {
+	s.hash[key] = n
+}
+
+// Erase removes the mapping from both views.
+func (s *Structure[K, V]) Erase(key K) {
+	s.tree.Delete(key)
+	delete(s.hash, key)
+}
+
+// HashFind consults the hash index.
+func (s *Structure[K, V]) HashFind(key K) (*node.Node[K, V], bool) {
+	n, ok := s.hash[key]
+	return n, ok
+}
+
+// Floor returns an iterator at the greatest tree entry with key' <= key (the
+// paper's getMaxLowerEqual), possibly invalid.
+func (s *Structure[K, V]) Floor(key K) Iterator[K, V] {
+	return s.tree.Floor(key)
+}
+
+// TreeLen returns the number of entries in the ordered view.
+func (s *Structure[K, V]) TreeLen() int { return s.tree.Len() }
+
+// HashLen returns the number of entries in the hash index.
+func (s *Structure[K, V]) HashLen() int { return len(s.hash) }
+
+// Ascend visits the ordered view in key order until fn returns false.
+func (s *Structure[K, V]) Ascend(fn func(K, *node.Node[K, V]) bool) {
+	s.tree.Ascend(fn)
+}

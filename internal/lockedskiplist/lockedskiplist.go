@@ -1,0 +1,341 @@
+// Package lockedskiplist implements the paper's "locked skip list" baseline:
+// the lazy lock-based skip list of Herlihy & Shavit (The Art of
+// Multiprocessor Programming, §14.3). Traversals are wait-free and
+// lock-free; insert and remove lock the affected predecessors, validate, and
+// link/unlink. The paper uses it as the structure "expected to work very
+// well" in low-contention scenarios.
+package lockedskiplist
+
+import (
+	"cmp"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"layeredsg/internal/numa"
+	"layeredsg/internal/stats"
+)
+
+type kind uint8
+
+const (
+	data kind = iota + 1
+	head
+	tail
+)
+
+type lnode[K cmp.Ordered, V any] struct {
+	key   K
+	value V
+	kind  kind
+
+	ownerThread int32
+	ownerNode   int32
+	id          uint64
+
+	mu          sync.Mutex
+	marked      atomic.Bool
+	fullyLinked atomic.Bool
+	topLevel    int
+
+	next []atomic.Pointer[lnode[K, V]]
+}
+
+func (n *lnode[K, V]) lessThan(key K) bool {
+	switch n.kind {
+	case head:
+		return true
+	case tail:
+		return false
+	default:
+		return n.key < key
+	}
+}
+
+func (n *lnode[K, V]) keyEquals(key K) bool {
+	return n.kind == data && n.key == key
+}
+
+// Map is a lazy lock-based skip list. All methods on handles are safe for
+// concurrent use across handles.
+type Map[K cmp.Ordered, V any] struct {
+	height  int
+	headN   *lnode[K, V]
+	tailN   *lnode[K, V]
+	nextID  atomic.Uint64
+	handles []*Handle[K, V]
+}
+
+// Config parameterizes the locked skip list.
+type Config struct {
+	// Machine supplies the thread count and topology; required.
+	Machine *numa.Machine
+	// Height is the tower height (the paper uses log2 of the key space).
+	Height int
+	// Recorder, when non-nil, enables read/op instrumentation (the locked
+	// structure performs no CAS).
+	Recorder *stats.Recorder
+	// Seed seeds the per-thread RNGs drawing tower heights.
+	Seed int64
+}
+
+// New builds an empty locked skip list.
+func New[K cmp.Ordered, V any](cfg Config) (*Map[K, V], error) {
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("lockedskiplist: Config.Machine is required")
+	}
+	if cfg.Height <= 0 {
+		return nil, fmt.Errorf("lockedskiplist: Height must be positive, got %d", cfg.Height)
+	}
+	m := &Map[K, V]{height: cfg.Height}
+	m.tailN = &lnode[K, V]{kind: tail, topLevel: cfg.Height, id: m.nextID.Add(1)}
+	m.tailN.next = make([]atomic.Pointer[lnode[K, V]], cfg.Height+1)
+	m.headN = &lnode[K, V]{kind: head, topLevel: cfg.Height, id: m.nextID.Add(1)}
+	m.headN.next = make([]atomic.Pointer[lnode[K, V]], cfg.Height+1)
+	for i := range m.headN.next {
+		m.headN.next[i].Store(m.tailN)
+	}
+	m.headN.fullyLinked.Store(true)
+	m.tailN.fullyLinked.Store(true)
+
+	threads := cfg.Machine.Threads()
+	m.handles = make([]*Handle[K, V], threads)
+	for t := 0; t < threads; t++ {
+		var tr *stats.ThreadRecorder
+		if cfg.Recorder != nil {
+			tr = cfg.Recorder.ThreadRecorder(t)
+		}
+		m.handles[t] = &Handle[K, V]{
+			m:      m,
+			thread: int32(t),
+			node:   int32(cfg.Machine.NodeOf(t)),
+			tr:     tr,
+			preds:  make([]*lnode[K, V], cfg.Height+1),
+			succs:  make([]*lnode[K, V], cfg.Height+1),
+			rng:    rand.New(rand.NewSource(cfg.Seed + int64(t)*0x5851F42D4C957F2D + 1)),
+		}
+	}
+	return m, nil
+}
+
+// Handle returns the per-thread handle; not safe for concurrent use.
+func (m *Map[K, V]) Handle(thread int) *Handle[K, V] { return m.handles[thread] }
+
+// Len counts present keys. O(n); tests and tooling.
+func (m *Map[K, V]) Len() int {
+	count := 0
+	for n := m.headN.next[0].Load(); n.kind != tail; n = n.next[0].Load() {
+		if !n.marked.Load() && n.fullyLinked.Load() {
+			count++
+		}
+	}
+	return count
+}
+
+// Keys returns the present keys in order. O(n); tests and tooling.
+func (m *Map[K, V]) Keys() []K {
+	var keys []K
+	for n := m.headN.next[0].Load(); n.kind != tail; n = n.next[0].Load() {
+		if !n.marked.Load() && n.fullyLinked.Load() {
+			keys = append(keys, n.key)
+		}
+	}
+	return keys
+}
+
+// Handle is one thread's view of the locked skip list.
+type Handle[K cmp.Ordered, V any] struct {
+	m      *Map[K, V]
+	thread int32
+	node   int32
+	tr     *stats.ThreadRecorder
+	preds  []*lnode[K, V]
+	succs  []*lnode[K, V]
+	rng    *rand.Rand
+}
+
+func (h *Handle[K, V]) read(n *lnode[K, V]) {
+	h.tr.Read(n.ownerThread, n.ownerNode, n.id)
+}
+
+// find fills preds/succs and returns the highest level at which key was
+// found, or -1.
+func (h *Handle[K, V]) find(key K) int {
+	h.tr.Search()
+	lFound := -1
+	pred := h.m.headN
+	for level := h.m.height; level >= 0; level-- {
+		h.read(pred)
+		curr := pred.next[level].Load()
+		for curr.lessThan(key) {
+			h.tr.Visit()
+			pred = curr
+			h.read(pred)
+			curr = pred.next[level].Load()
+		}
+		if lFound == -1 && curr.keyEquals(key) {
+			lFound = level
+		}
+		h.preds[level] = pred
+		h.succs[level] = curr
+	}
+	return lFound
+}
+
+func (h *Handle[K, V]) randomLevel() int {
+	level := 0
+	for level < h.m.height && h.rng.Int63()&1 == 0 {
+		level++
+	}
+	return level
+}
+
+// Insert adds key → value, returning false if the key is present.
+func (h *Handle[K, V]) Insert(key K, value V) bool {
+	defer h.tr.Op()
+	topLevel := h.randomLevel()
+	for {
+		if lFound := h.find(key); lFound != -1 {
+			found := h.succs[lFound]
+			h.read(found)
+			if !found.marked.Load() {
+				// Wait until the competing insert finishes linking, then
+				// report a duplicate.
+				for !found.fullyLinked.Load() {
+				}
+				return false
+			}
+			continue // Marked: retry until physically removed.
+		}
+		if h.tryLink(key, value, topLevel) {
+			return true
+		}
+	}
+}
+
+// tryLink locks the predecessors up to topLevel, validates them, and links a
+// new node. Returns false when validation fails (caller retries).
+func (h *Handle[K, V]) tryLink(key K, value V, topLevel int) bool {
+	var locked []*lnode[K, V]
+	defer func() {
+		for _, n := range locked {
+			n.mu.Unlock()
+		}
+	}()
+	var prev *lnode[K, V]
+	for level := 0; level <= topLevel; level++ {
+		pred, succ := h.preds[level], h.succs[level]
+		if pred != prev {
+			pred.mu.Lock()
+			locked = append(locked, pred)
+			prev = pred
+		}
+		h.read(pred)
+		if pred.marked.Load() || succ.marked.Load() || pred.next[level].Load() != succ {
+			return false
+		}
+	}
+	n := &lnode[K, V]{
+		key:         key,
+		value:       value,
+		kind:        data,
+		ownerThread: h.thread,
+		ownerNode:   h.node,
+		id:          h.m.nextID.Add(1),
+		topLevel:    topLevel,
+	}
+	n.next = make([]atomic.Pointer[lnode[K, V]], topLevel+1)
+	for level := 0; level <= topLevel; level++ {
+		n.next[level].Store(h.succs[level])
+	}
+	for level := 0; level <= topLevel; level++ {
+		h.preds[level].next[level].Store(n)
+	}
+	n.fullyLinked.Store(true)
+	return true
+}
+
+// Remove deletes key, returning false if it was not present.
+func (h *Handle[K, V]) Remove(key K) bool {
+	defer h.tr.Op()
+	var victim *lnode[K, V]
+	isMarked := false
+	topLevel := -1
+	for {
+		lFound := h.find(key)
+		if !isMarked {
+			if lFound == -1 {
+				return false
+			}
+			victim = h.succs[lFound]
+			h.read(victim)
+			if !victim.fullyLinked.Load() || victim.topLevel != lFound || victim.marked.Load() {
+				return false
+			}
+			topLevel = victim.topLevel
+			victim.mu.Lock()
+			if victim.marked.Load() {
+				victim.mu.Unlock()
+				return false
+			}
+			victim.marked.Store(true)
+			isMarked = true
+		}
+		if h.tryUnlink(victim, topLevel) {
+			victim.mu.Unlock()
+			return true
+		}
+	}
+}
+
+// tryUnlink locks and validates the victim's predecessors, then splices the
+// victim out. Caller holds the victim's lock.
+func (h *Handle[K, V]) tryUnlink(victim *lnode[K, V], topLevel int) bool {
+	var locked []*lnode[K, V]
+	defer func() {
+		for _, n := range locked {
+			n.mu.Unlock()
+		}
+	}()
+	var prev *lnode[K, V]
+	for level := 0; level <= topLevel; level++ {
+		pred := h.preds[level]
+		if pred != prev {
+			pred.mu.Lock()
+			locked = append(locked, pred)
+			prev = pred
+		}
+		h.read(pred)
+		if pred.marked.Load() || pred.next[level].Load() != victim {
+			return false
+		}
+	}
+	for level := topLevel; level >= 0; level-- {
+		h.preds[level].next[level].Store(victim.next[level].Load())
+	}
+	return true
+}
+
+// Contains reports whether key is present.
+func (h *Handle[K, V]) Contains(key K) bool {
+	_, ok := h.Get(key)
+	return ok
+}
+
+// Get returns the value stored under key. The traversal is lock-free
+// (wait-free, in fact), the hallmark of the lazy skip list.
+func (h *Handle[K, V]) Get(key K) (V, bool) {
+	defer h.tr.Op()
+	var zero V
+	lFound := h.find(key)
+	if lFound == -1 {
+		return zero, false
+	}
+	found := h.succs[lFound]
+	h.read(found)
+	if found.fullyLinked.Load() && !found.marked.Load() {
+		return found.value, true
+	}
+	return zero, false
+}

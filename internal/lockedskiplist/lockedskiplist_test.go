@@ -1,0 +1,142 @@
+package lockedskiplist
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"layeredsg/internal/numa"
+)
+
+func machine(t *testing.T, threads int) *numa.Machine {
+	t.Helper()
+	topo, err := numa.New(2, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := numa.Pin(topo, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func newMap(t *testing.T, threads int) *Map[int64, int64] {
+	t.Helper()
+	m, err := New[int64, int64](Config{Machine: machine(t, threads), Height: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New[int64, int64](Config{Height: 8}); err == nil {
+		t.Fatal("nil machine accepted")
+	}
+	if _, err := New[int64, int64](Config{Machine: machine(t, 2)}); err == nil {
+		t.Fatal("zero height accepted")
+	}
+}
+
+func TestSequentialModel(t *testing.T) {
+	m := newMap(t, 2)
+	h := m.Handle(0)
+	model := make(map[int64]bool)
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 5000; i++ {
+		key := rng.Int63n(200)
+		switch rng.Intn(3) {
+		case 0:
+			if got, want := h.Insert(key, key*3), !model[key]; got != want {
+				t.Fatalf("op %d Insert(%d)=%v want %v", i, key, got, want)
+			}
+			model[key] = true
+		case 1:
+			if got, want := h.Remove(key), model[key]; got != want {
+				t.Fatalf("op %d Remove(%d)=%v want %v", i, key, got, want)
+			}
+			delete(model, key)
+		default:
+			v, ok := h.Get(key)
+			if ok != model[key] || (ok && v != key*3) {
+				t.Fatalf("op %d Get(%d)=%v,%v", i, key, v, ok)
+			}
+		}
+	}
+	if m.Len() != len(model) {
+		t.Fatalf("Len=%d model=%d", m.Len(), len(model))
+	}
+}
+
+func TestConcurrentDisjoint(t *testing.T) {
+	const threads = 8
+	m := newMap(t, threads)
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			h := m.Handle(th)
+			base := int64(th) * 1000
+			for k := int64(0); k < 100; k++ {
+				if !h.Insert(base+k, k) {
+					t.Errorf("insert %d failed", base+k)
+					return
+				}
+			}
+			for k := int64(1); k < 100; k += 2 {
+				if !h.Remove(base + k) {
+					t.Errorf("remove %d failed", base+k)
+					return
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	h := m.Handle(0)
+	for th := 0; th < threads; th++ {
+		base := int64(th) * 1000
+		for k := int64(0); k < 100; k++ {
+			want := k%2 == 0
+			if got := h.Contains(base + k); got != want {
+				t.Fatalf("Contains(%d)=%v want %v", base+k, got, want)
+			}
+		}
+	}
+	if m.Len() != threads*50 {
+		t.Fatalf("Len=%d", m.Len())
+	}
+}
+
+func TestConcurrentContention(t *testing.T) {
+	const threads = 8
+	m := newMap(t, threads)
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			h := m.Handle(th)
+			rng := rand.New(rand.NewSource(int64(th) + 100))
+			for i := 0; i < 2000; i++ {
+				k := rng.Int63n(32)
+				switch rng.Intn(3) {
+				case 0:
+					h.Insert(k, k)
+				case 1:
+					h.Remove(k)
+				default:
+					h.Contains(k)
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	keys := m.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("list unsorted/duplicated: %v", keys)
+		}
+	}
+}

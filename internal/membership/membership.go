@@ -1,0 +1,155 @@
+// Package membership generates per-thread membership vectors for the
+// partitioned skip graph.
+//
+// In the paper every thread T_i owns a MaxLevel-bit membership vector M_i
+// whose *suffixes* select the shared linked lists the thread operates in:
+// at level i the thread works in the list labelled by the low i bits of M_i,
+// and all its insertions land in the single "associated skip list"
+// (λ, M mod 2, M mod 4, ..., M). Two threads share a level-i list exactly
+// when their vectors agree on the low i bits, so the vector assignment
+// controls which threads contend with which — and, on a NUMA machine, how
+// much traffic crosses sockets.
+//
+// Two schemes are provided, matching the paper's evaluation:
+//
+//   - Suffix: M_i = i mod 2^MaxLevel. Simple, ignores the machine.
+//   - NUMAAware: threads are renumbered so that the larger the absolute
+//     difference between two renumbered IDs, the larger the physical distance
+//     between their CPUs (NUMA domain first, then core collocation, then
+//     hardware-thread collocation); the renumbered position is then
+//     bit-reversed into the vector so that physically-close threads share
+//     long suffixes — and therefore many lists.
+package membership
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"layeredsg/internal/numa"
+)
+
+// Scheme selects how membership vectors are generated.
+type Scheme int
+
+const (
+	// Suffix assigns each thread the low MaxLevel bits of its thread ID.
+	Suffix Scheme = iota + 1
+	// NUMAAware renumbers threads by physical distance and bit-reverses the
+	// renumbered position, so close threads share long vector suffixes.
+	NUMAAware
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case Suffix:
+		return "suffix"
+	case NUMAAware:
+		return "numa-aware"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// MaxLevel returns the skip graph's maximum level for a thread count:
+// MaxLevel = ceil(log2 T) - 1, and never negative. With T=2 this is 0
+// (a single shared list); with T=96 it is 6.
+func MaxLevel(threads int) int {
+	if threads <= 2 {
+		return 0
+	}
+	// ceil(log2 T) == bits.Len(T-1) for T >= 2.
+	return bits.Len(uint(threads-1)) - 1
+}
+
+// Vectors returns one membership vector per logical thread of the machine.
+// Each vector has MaxLevel(m.Threads()) significant bits.
+func Vectors(m *numa.Machine, scheme Scheme) ([]uint32, error) {
+	maxLevel := MaxLevel(m.Threads())
+	switch scheme {
+	case Suffix:
+		return suffixVectors(m.Threads(), maxLevel), nil
+	case NUMAAware:
+		return numaAwareVectors(m, maxLevel), nil
+	default:
+		return nil, fmt.Errorf("membership: unknown scheme %v", scheme)
+	}
+}
+
+func suffixVectors(threads, maxLevel int) []uint32 {
+	out := make([]uint32, threads)
+	mask := uint32(1)<<uint(maxLevel) - 1
+	for t := range out {
+		out[t] = uint32(t) & mask
+	}
+	return out
+}
+
+func numaAwareVectors(m *numa.Machine, maxLevel int) []uint32 {
+	t := m.Threads()
+	// Renumber: order threads by (socket, core, SMT) so that adjacency in the
+	// renumbered sequence reflects physical closeness, with SMT siblings
+	// adjacent, same-socket cores next, and sockets furthest apart.
+	order := make([]int, t)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, cb := m.Placement(order[a]).CPU, m.Placement(order[b]).CPU
+		if ca.Socket != cb.Socket {
+			return ca.Socket < cb.Socket
+		}
+		if ca.Core != cb.Core {
+			return ca.Core < cb.Core
+		}
+		return ca.SMT < cb.SMT
+	})
+
+	out := make([]uint32, t)
+	buckets := 1 << uint(maxLevel)
+	for pos, thread := range order {
+		// Position bucket among 2^MaxLevel equal slices of the machine, then
+		// bit-reverse: the vector's LOW bit becomes the machine's top-level
+		// split (which socket half), so physically-close threads agree on
+		// long suffixes and hence share many lists.
+		bucket := pos * buckets / t
+		out[thread] = reverseBits(uint32(bucket), maxLevel)
+	}
+	return out
+}
+
+func reverseBits(v uint32, width int) uint32 {
+	if width <= 0 {
+		return 0
+	}
+	return bits.Reverse32(v) >> (32 - uint(width))
+}
+
+// SharedLevels counts the levels (1..maxLevel) at which two membership
+// vectors select the same shared linked list, i.e. the length of the common
+// low-bit suffix capped at maxLevel. Level 0 is always shared and is not
+// counted. Larger return values mean the two threads contend on — and keep
+// hot in each other's caches — more of the shared structure.
+func SharedLevels(a, b uint32, maxLevel int) int {
+	shared := 0
+	for i := 1; i <= maxLevel; i++ {
+		mask := uint32(1)<<uint(i) - 1
+		if a&mask == b&mask {
+			shared++
+		} else {
+			break
+		}
+	}
+	return shared
+}
+
+// ListLabel returns the label (low `level` bits of the vector) of the shared
+// linked list a vector selects at the given level. Level 0 is the single
+// bottom list, labelled 0.
+func ListLabel(vector uint32, level int) uint32 {
+	if level <= 0 {
+		return 0
+	}
+	return vector & (uint32(1)<<uint(level) - 1)
+}

@@ -1,0 +1,176 @@
+package membership
+
+import (
+	"testing"
+	"testing/quick"
+
+	"layeredsg/internal/numa"
+)
+
+func TestMaxLevel(t *testing.T) {
+	cases := []struct{ threads, want int }{
+		{1, 0}, {2, 0}, {3, 1}, {4, 1}, {5, 2}, {8, 2}, {9, 3},
+		{16, 3}, {32, 4}, {48, 5}, {64, 5}, {96, 6}, {128, 6},
+	}
+	for _, c := range cases {
+		if got := MaxLevel(c.threads); got != c.want {
+			t.Errorf("MaxLevel(%d) = %d want %d", c.threads, got, c.want)
+		}
+	}
+}
+
+func machine(t *testing.T, threads int) *numa.Machine {
+	t.Helper()
+	topo := numa.PaperMachine()
+	m, err := numa.Pin(topo, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSuffixVectors(t *testing.T) {
+	m := machine(t, 16)
+	vs, err := Vectors(m, Suffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLevel := MaxLevel(16) // 3
+	mask := uint32(1)<<uint(maxLevel) - 1
+	for i, v := range vs {
+		if v != uint32(i)&mask {
+			t.Fatalf("vector[%d] = %b want %b", i, v, uint32(i)&mask)
+		}
+	}
+}
+
+func TestVectorsUnknownScheme(t *testing.T) {
+	if _, err := Vectors(machine(t, 4), Scheme(42)); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+// TestNUMAAwareLocality is the scheme's defining property: the physically
+// closer two threads are, the more levels their vectors share. SMT siblings
+// must share at least as many levels as same-socket pairs, which must share
+// at least as many as cross-socket pairs.
+func TestNUMAAwareLocality(t *testing.T) {
+	m := machine(t, 96)
+	vs, err := Vectors(m, NUMAAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLevel := MaxLevel(96) // 6
+
+	avg := func(pairs [][2]int) float64 {
+		total := 0
+		for _, p := range pairs {
+			total += SharedLevels(vs[p[0]], vs[p[1]], maxLevel)
+		}
+		return float64(total) / float64(len(pairs))
+	}
+	var smt, sameSocket, crossSocket [][2]int
+	for a := 0; a < 96; a++ {
+		for b := a + 1; b < 96; b++ {
+			switch d := m.ThreadDistance(a, b); {
+			case d == 10:
+				smt = append(smt, [2]int{a, b})
+			case d == 100:
+				sameSocket = append(sameSocket, [2]int{a, b})
+			default:
+				crossSocket = append(crossSocket, [2]int{a, b})
+			}
+		}
+	}
+	smtAvg, sockAvg, crossAvg := avg(smt), avg(sameSocket), avg(crossSocket)
+	if !(smtAvg > sockAvg && sockAvg > crossAvg) {
+		t.Fatalf("shared-level gradient broken: smt=%.2f socket=%.2f cross=%.2f",
+			smtAvg, sockAvg, crossAvg)
+	}
+	// Cross-socket pairs must share *no* level above 0: the top-level split
+	// of the machine is the vectors' lowest bit.
+	for _, p := range crossSocket {
+		if got := SharedLevels(vs[p[0]], vs[p[1]], maxLevel); got != 0 {
+			t.Fatalf("cross-socket pair %v shares %d levels", p, got)
+		}
+	}
+}
+
+// TestNUMAAwareBalance: each top-level list should receive a near-equal share
+// of threads (at most T/2^MaxLevel rounded up) — the partitioning property
+// bounding contention per list.
+func TestNUMAAwareBalance(t *testing.T) {
+	for _, threads := range []int{4, 8, 16, 32, 48, 96} {
+		m := machine(t, threads)
+		vs, err := Vectors(m, NUMAAware)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxLevel := MaxLevel(threads)
+		counts := make(map[uint32]int)
+		for _, v := range vs {
+			counts[v]++
+		}
+		limit := (threads + (1 << uint(maxLevel)) - 1) / (1 << uint(maxLevel))
+		for v, c := range counts {
+			if c > limit {
+				t.Fatalf("threads=%d: vector %b has %d threads, limit %d", threads, v, c, limit)
+			}
+		}
+	}
+}
+
+func TestSharedLevels(t *testing.T) {
+	cases := []struct {
+		a, b     uint32
+		maxLevel int
+		want     int
+	}{
+		{0b000, 0b000, 3, 3},
+		{0b001, 0b101, 3, 2},
+		{0b001, 0b011, 3, 1},
+		{0b001, 0b010, 3, 0},
+		{0b0, 0b0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := SharedLevels(c.a, c.b, c.maxLevel); got != c.want {
+			t.Errorf("SharedLevels(%b,%b,%d) = %d want %d", c.a, c.b, c.maxLevel, got, c.want)
+		}
+	}
+}
+
+func TestListLabel(t *testing.T) {
+	if got := ListLabel(0b1011, 0); got != 0 {
+		t.Fatalf("level-0 label = %d want 0", got)
+	}
+	if got := ListLabel(0b1011, 2); got != 0b11 {
+		t.Fatalf("level-2 label = %b want 11", got)
+	}
+	if got := ListLabel(0b1011, 4); got != 0b1011 {
+		t.Fatalf("level-4 label = %b", got)
+	}
+}
+
+// TestListLabelConsistency: labels must nest — the level-i label is the low
+// bits of the level-(i+1) label, which is what lets searches descend from a
+// head sentinel to the head of the containing list.
+func TestListLabelConsistency(t *testing.T) {
+	f := func(v uint32, rawLevel uint8) bool {
+		level := int(rawLevel%8) + 1
+		hi := ListLabel(v, level)
+		lo := ListLabel(v, level-1)
+		return hi&(uint32(1)<<uint(level-1)-1) == lo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if Suffix.String() != "suffix" || NUMAAware.String() != "numa-aware" {
+		t.Fatal("scheme names wrong")
+	}
+	if Scheme(9).String() == "" {
+		t.Fatal("unknown scheme String empty")
+	}
+}

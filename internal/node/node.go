@@ -1,0 +1,294 @@
+// Package node defines the shared-node representation used by the skip
+// graph, skip list, and linked-list shared structures, together with the
+// instrumented access functions the paper's evaluation hooks into.
+//
+// A shared node carries:
+//
+//   - an array of level references (next pointers with marked/valid bits, see
+//     internal/atomicmark) — s.next[i] in the paper;
+//   - first-touch ownership (allocating thread and its NUMA node), used by
+//     the instrumentation to classify accesses as local or remote;
+//   - the allocation timestamp used by the lazy variant's commission period;
+//   - the `inserted` flag set once all levels are linked (lazy insertion);
+//   - the owning thread's membership vector, which determines the shared
+//     linked lists the node participates in at every level.
+//
+// Access functions come in two flavours: instrumented (taking a
+// *stats.ThreadRecorder, which may be nil) and raw. The algorithms use raw
+// accessors when operating on a node the executing thread is itself
+// inserting, because the paper's metrics deliberately exclude that
+// inherently-local initialization traffic.
+package node
+
+import (
+	"cmp"
+	"sync/atomic"
+
+	"layeredsg/internal/atomicmark"
+	"layeredsg/internal/stats"
+)
+
+// Kind distinguishes data nodes from the sentinel nodes that delimit lists.
+type Kind uint8
+
+const (
+	// Data is a regular key/value node.
+	Data Kind = iota + 1
+	// Head is a per-(level, list-label) sentinel preceding every list; its key
+	// compares below every data key.
+	Head
+	// Tail is the shared sentinel terminating every list; its key compares
+	// above every data key.
+	Tail
+)
+
+// Node is a shared node. The zero value is not usable; construct with
+// NewData, NewHead, or NewTail.
+type Node[K cmp.Ordered, V any] struct {
+	key   K
+	value V
+	kind  Kind
+
+	// topLevel is the highest level this node participates in. Heads use it
+	// as the level of the single list they front.
+	topLevel int32
+	// vector is the membership vector of the inserting thread; it selects the
+	// list labels this node belongs to at each level. Heads store the label
+	// of the list they front.
+	vector uint32
+
+	ownerThread int32
+	ownerNode   int32
+	id          uint64
+	allocTS     int64
+
+	inserted atomic.Bool
+
+	next []atomicmark.Ref[Node[K, V]]
+}
+
+// Owner describes the first-touch ownership of a node.
+type Owner struct {
+	// Thread is the logical thread that allocated the node.
+	Thread int32
+	// Node is the NUMA node that thread is pinned to.
+	Node int32
+}
+
+// HeadOwner attributes head-array accesses to thread 0 on node 0, matching
+// the paper's arbitrary attribution of the head array (Fig. 8 discussion).
+var HeadOwner = Owner{Thread: 0, Node: 0}
+
+// NewData allocates a data node participating in levels 0..topLevel, with
+// all level references pointing at succ, unmarked and valid. The lazy
+// protocol requires new nodes to be allocated unmarked and valid.
+func NewData[K cmp.Ordered, V any](key K, value V, topLevel int, vector uint32, owner Owner, id uint64, allocTS int64) *Node[K, V] {
+	n := &Node[K, V]{
+		key:         key,
+		value:       value,
+		kind:        Data,
+		topLevel:    int32(topLevel),
+		vector:      vector,
+		ownerThread: owner.Thread,
+		ownerNode:   owner.Node,
+		id:          id,
+		allocTS:     allocTS,
+	}
+	n.next = make([]atomicmark.Ref[Node[K, V]], topLevel+1)
+	for i := range n.next {
+		n.next[i].Init(nil, false, true)
+	}
+	return n
+}
+
+// NewHead allocates the sentinel fronting the (level, label) list, pointing
+// at tail.
+func NewHead[K cmp.Ordered, V any](level int, label uint32, tail *Node[K, V], id uint64) *Node[K, V] {
+	n := &Node[K, V]{
+		kind:        Head,
+		topLevel:    int32(level),
+		vector:      label,
+		ownerThread: HeadOwner.Thread,
+		ownerNode:   HeadOwner.Node,
+		id:          id,
+	}
+	n.next = make([]atomicmark.Ref[Node[K, V]], level+1)
+	for i := range n.next {
+		n.next[i].Init(tail, false, true)
+	}
+	return n
+}
+
+// NewTail allocates the shared terminating sentinel for a structure with the
+// given maximum level.
+func NewTail[K cmp.Ordered, V any](maxLevel int, id uint64) *Node[K, V] {
+	n := &Node[K, V]{
+		kind:        Tail,
+		topLevel:    int32(maxLevel),
+		ownerThread: HeadOwner.Thread,
+		ownerNode:   HeadOwner.Node,
+		id:          id,
+	}
+	n.next = make([]atomicmark.Ref[Node[K, V]], maxLevel+1)
+	for i := range n.next {
+		n.next[i].Init(nil, false, true)
+	}
+	return n
+}
+
+// Key returns the node's key. Only meaningful for data nodes.
+func (n *Node[K, V]) Key() K { return n.key }
+
+// Value returns the node's value. Values are immutable (set semantics).
+func (n *Node[K, V]) Value() V { return n.value }
+
+// Kind returns the node kind.
+func (n *Node[K, V]) Kind() Kind { return n.kind }
+
+// IsData reports whether the node is a regular data node.
+func (n *Node[K, V]) IsData() bool { return n.kind == Data }
+
+// TopLevel returns the highest level the node participates in.
+func (n *Node[K, V]) TopLevel() int { return int(n.topLevel) }
+
+// Vector returns the membership vector (or, for heads, the list label).
+func (n *Node[K, V]) Vector() uint32 { return n.vector }
+
+// OwnerThread returns the allocating logical thread.
+func (n *Node[K, V]) OwnerThread() int32 { return n.ownerThread }
+
+// OwnerNode returns the allocating thread's NUMA node.
+func (n *Node[K, V]) OwnerNode() int32 { return n.ownerNode }
+
+// ID returns the node's unique ID (used as its cache-line address by the
+// cache simulator).
+func (n *Node[K, V]) ID() uint64 { return n.id }
+
+// AllocTS returns the allocation timestamp (structure-relative nanoseconds),
+// the base of the commission period.
+func (n *Node[K, V]) AllocTS() int64 { return n.allocTS }
+
+// Inserted reports whether all levels of the node have been linked.
+func (n *Node[K, V]) Inserted() bool { return n.inserted.Load() }
+
+// MarkInserted records that all levels have been linked.
+func (n *Node[K, V]) MarkInserted() { n.inserted.Store(true) }
+
+// LessThan reports whether the node's key is strictly below key, treating
+// heads as -inf and tails as +inf.
+func (n *Node[K, V]) LessThan(key K) bool {
+	switch n.kind {
+	case Head:
+		return true
+	case Tail:
+		return false
+	default:
+		return n.key < key
+	}
+}
+
+// KeyEquals reports whether the node is a data node holding key.
+func (n *Node[K, V]) KeyEquals(key K) bool {
+	return n.kind == Data && n.key == key
+}
+
+// --- Instrumented access functions (the paper's "node access functions") ---
+
+func (n *Node[K, V]) read(tr *stats.ThreadRecorder) {
+	tr.Read(n.ownerThread, n.ownerNode, n.id)
+}
+
+// Next returns the level-i successor, recording a read.
+func (n *Node[K, V]) Next(level int, tr *stats.ThreadRecorder) *Node[K, V] {
+	n.read(tr)
+	return n.next[level].Next()
+}
+
+// Load returns an atomic snapshot of the level-i reference, recording a read.
+func (n *Node[K, V]) Load(level int, tr *stats.ThreadRecorder) atomicmark.Snapshot[Node[K, V]] {
+	n.read(tr)
+	return n.next[level].Load()
+}
+
+// Marked returns the level-i marked bit, recording a read.
+func (n *Node[K, V]) Marked(level int, tr *stats.ThreadRecorder) bool {
+	n.read(tr)
+	return n.next[level].Marked()
+}
+
+// MarkValid returns the level-i (marked, valid) pair, recording a read.
+func (n *Node[K, V]) MarkValid(level int, tr *stats.ThreadRecorder) (marked, valid bool) {
+	n.read(tr)
+	return n.next[level].MarkValid()
+}
+
+func (n *Node[K, V]) cas(tr *stats.ThreadRecorder, ok bool) bool {
+	tr.CAS(n.ownerThread, n.ownerNode, n.id, ok)
+	return ok
+}
+
+// CASNext swings the level-i successor from exp to next, failing if the
+// reference is marked. Records a maintenance CAS.
+func (n *Node[K, V]) CASNext(level int, exp, next *Node[K, V], tr *stats.ThreadRecorder) bool {
+	return n.cas(tr, n.next[level].CASNext(exp, next))
+}
+
+// CASSnapshot performs a full-triple CAS on the level-i reference, recording
+// a maintenance CAS. It implements the relink optimization: exp.Next is the
+// `middle` node observed when the predecessor was identified, and want.Next
+// skips the whole chain of marked references.
+func (n *Node[K, V]) CASSnapshot(level int, exp, want atomicmark.Snapshot[Node[K, V]], tr *stats.ThreadRecorder) bool {
+	return n.cas(tr, n.next[level].CASSnapshot(exp, want))
+}
+
+// CASMark flips the level-i marked bit, recording a maintenance CAS.
+func (n *Node[K, V]) CASMark(level int, exp, next bool, tr *stats.ThreadRecorder) bool {
+	return n.cas(tr, n.next[level].CASMark(exp, next))
+}
+
+// CASValid flips the level-i valid bit, recording a maintenance CAS.
+func (n *Node[K, V]) CASValid(level int, exp, next bool, tr *stats.ThreadRecorder) bool {
+	return n.cas(tr, n.next[level].CASValid(exp, next))
+}
+
+// CASMarkValid atomically replaces the level-i (marked, valid) pair,
+// recording a maintenance CAS. This is the linearization CAS of lazy insert
+// and remove.
+func (n *Node[K, V]) CASMarkValid(level int, expMarked, expValid, newMarked, newValid bool, tr *stats.ThreadRecorder) bool {
+	return n.cas(tr, n.next[level].CASMarkValid(expMarked, expValid, newMarked, newValid))
+}
+
+// --- Raw access functions (inserting-node traffic, excluded from metrics) ---
+
+// RawNext returns the level-i successor without recording.
+func (n *Node[K, V]) RawNext(level int) *Node[K, V] {
+	return n.next[level].Next()
+}
+
+// RawLoad returns a snapshot of the level-i reference without recording.
+func (n *Node[K, V]) RawLoad(level int) atomicmark.Snapshot[Node[K, V]] {
+	return n.next[level].Load()
+}
+
+// RawMarked returns the level-i marked bit without recording.
+func (n *Node[K, V]) RawMarked(level int) bool {
+	return n.next[level].Marked()
+}
+
+// RawMarkValid returns the level-i (marked, valid) pair without recording.
+func (n *Node[K, V]) RawMarkValid() (marked, valid bool) {
+	return n.next[0].MarkValid()
+}
+
+// RawStore unconditionally sets the level-i reference. Only safe on a node
+// not yet published (e.g. toInsert.setNext(0, successors[0]) before the link
+// CAS).
+func (n *Node[K, V]) RawStore(level int, next *Node[K, V], marked, valid bool) {
+	n.next[level].Store(next, marked, valid)
+}
+
+// RawCASNext swings the level-i successor without recording (used by
+// finishInsert on the thread's own inserting node).
+func (n *Node[K, V]) RawCASNext(level int, exp, next *Node[K, V]) bool {
+	return n.next[level].CASNext(exp, next)
+}

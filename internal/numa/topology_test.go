@@ -1,0 +1,135 @@
+package numa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperMachine(t *testing.T) {
+	topo := PaperMachine()
+	if topo.Sockets() != 2 || topo.CoresPerSocket() != 24 || topo.ThreadsPerCore() != 2 {
+		t.Fatalf("paper machine geometry wrong: %d/%d/%d",
+			topo.Sockets(), topo.CoresPerSocket(), topo.ThreadsPerCore())
+	}
+	if topo.HardwareThreads() != 96 {
+		t.Fatalf("hardware threads = %d want 96", topo.HardwareThreads())
+	}
+	if topo.Distance(0, 0) != 10 || topo.Distance(0, 1) != 21 {
+		t.Fatalf("distances = %d/%d want 10/21", topo.Distance(0, 0), topo.Distance(0, 1))
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, bad := range [][3]int{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}, {-1, 2, 2}} {
+		if _, err := New(bad[0], bad[1], bad[2]); err == nil {
+			t.Fatalf("New(%v) accepted", bad)
+		}
+	}
+}
+
+func TestNewWithDistancesValidation(t *testing.T) {
+	if _, err := NewWithDistances(2, 1, 1, [][]int{{10, 21}}); err == nil {
+		t.Fatal("wrong row count accepted")
+	}
+	if _, err := NewWithDistances(2, 1, 1, [][]int{{10, 21}, {22, 10}}); err == nil {
+		t.Fatal("asymmetric matrix accepted")
+	}
+	if _, err := NewWithDistances(2, 1, 1, [][]int{{10, 10}, {10, 10}}); err == nil {
+		t.Fatal("non-dominant diagonal accepted")
+	}
+	topo, err := NewWithDistances(4, 2, 1, [][]int{
+		{10, 16, 22, 22},
+		{16, 10, 22, 22},
+		{22, 22, 10, 16},
+		{22, 22, 16, 10},
+	})
+	if err != nil {
+		t.Fatalf("valid 4-node matrix rejected: %v", err)
+	}
+	if topo.Distance(0, 2) != 22 {
+		t.Fatal("distance not stored")
+	}
+}
+
+// TestPinOrderFillsSockets verifies the paper's pinning policy: a socket is
+// filled (all cores, then SMT siblings) before the next socket gets threads.
+func TestPinOrderFillsSockets(t *testing.T) {
+	topo := PaperMachine()
+	m, err := Pin(topo, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSocket := 48
+	for th := 0; th < 96; th++ {
+		wantSocket := th / perSocket
+		if got := m.NodeOf(th); got != wantSocket {
+			t.Fatalf("thread %d on node %d want %d", th, got, wantSocket)
+		}
+	}
+	// Within a socket: first 24 threads on distinct cores (SMT 0), next 24 on
+	// the same cores (SMT 1).
+	for th := 0; th < 24; th++ {
+		a, b := m.Placement(th).CPU, m.Placement(th+24).CPU
+		if a.SMT != 0 || b.SMT != 1 || a.Core != b.Core {
+			t.Fatalf("SMT pairing broken: %+v / %+v", a, b)
+		}
+	}
+}
+
+func TestPinOversubscription(t *testing.T) {
+	topo, _ := New(1, 2, 1)
+	m, err := Pin(topo, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Placement(4).CPU.ID != m.Placement(0).CPU.ID {
+		t.Fatal("oversubscribed thread did not wrap")
+	}
+	if _, err := Pin(topo, 0); err == nil {
+		t.Fatal("Pin(0) accepted")
+	}
+}
+
+func TestThreadDistance(t *testing.T) {
+	topo := PaperMachine()
+	m, _ := Pin(topo, 96)
+	// SMT siblings (0 and 24 share core 0 of socket 0).
+	if d := m.ThreadDistance(0, 24); d != 10 {
+		t.Fatalf("SMT sibling distance = %d want 10", d)
+	}
+	// Same socket, different cores.
+	if d := m.ThreadDistance(0, 1); d != 100 {
+		t.Fatalf("same-socket distance = %d want 100", d)
+	}
+	// Cross-socket: scaled NUMA distance.
+	if d := m.ThreadDistance(0, 48); d != 21000 {
+		t.Fatalf("cross-socket distance = %d want 21000", d)
+	}
+	if d := m.ThreadDistance(3, 3); d != 0 {
+		t.Fatalf("self distance = %d want 0", d)
+	}
+}
+
+func TestThreadDistanceSymmetric(t *testing.T) {
+	topo := PaperMachine()
+	m, _ := Pin(topo, 96)
+	f := func(a, b uint8) bool {
+		x, y := int(a)%96, int(b)%96
+		return m.ThreadDistance(x, y) == m.ThreadDistance(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	topo, _ := New(2, 1, 1)
+	m, _ := Pin(topo, 2)
+	s := m.String()
+	for _, want := range []string{"available: 2 nodes", "node 0 threads: 0", "node 1 threads: 1", "10  21"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

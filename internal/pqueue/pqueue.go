@@ -1,0 +1,72 @@
+// Package pqueue adapts the layered map into an exact concurrent priority
+// queue — the adaptation the paper's appendix evaluates in preliminary form
+// ("we are interested in exploring our structural advantages in the design
+// of exact and relaxed priority queues").
+//
+// Push is a layered insert (so producers enjoy the same NUMA-local jumping);
+// PopMin walks the shared bottom list from the head and linearizes the
+// extraction on the remove-helper CAS. Duplicate priorities are not stored
+// (set semantics); callers needing multiplicity should fold a sequence
+// number into the key.
+package pqueue
+
+import (
+	"cmp"
+
+	"layeredsg/internal/core"
+)
+
+// Queue is a concurrent priority queue over a layered map.
+type Queue[K cmp.Ordered, V any] struct {
+	m *core.Map[K, V]
+}
+
+// New wraps a layered map built by core.New.
+func New[K cmp.Ordered, V any](cfg core.Config) (*Queue[K, V], error) {
+	m, err := core.New[K, V](cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Queue[K, V]{m: m}, nil
+}
+
+// Map exposes the underlying layered map (tests and tooling).
+func (q *Queue[K, V]) Map() *core.Map[K, V] { return q.m }
+
+// Handle returns the per-thread handle; not safe for concurrent use.
+func (q *Queue[K, V]) Handle(thread int) *Handle[K, V] {
+	return &Handle[K, V]{h: q.m.Handle(thread)}
+}
+
+// Len counts queued elements. O(n); tests and tooling.
+func (q *Queue[K, V]) Len() int { return q.m.Len() }
+
+// Handle is one thread's view of the queue.
+type Handle[K cmp.Ordered, V any] struct {
+	h *core.Handle[K, V]
+}
+
+// Push enqueues priority → value, returning false if the priority is already
+// queued.
+func (h *Handle[K, V]) Push(priority K, value V) bool {
+	return h.h.Insert(priority, value)
+}
+
+// PopMin dequeues the smallest priority, returning false on empty.
+func (h *Handle[K, V]) PopMin() (K, V, bool) {
+	return h.h.RemoveMin()
+}
+
+// PeekMin returns the smallest priority without dequeuing.
+func (h *Handle[K, V]) PeekMin() (K, V, bool) {
+	return h.h.Min()
+}
+
+// PopRelaxed dequeues a *near*-minimal priority (SprayList-style relaxed
+// semantics): a randomized descent lands each contending consumer on a
+// different node near the front, trading strict ordering for reduced
+// contention — the "relaxed priority queues" direction of the paper's
+// conclusion. Returns false only when the queue is (observed) empty.
+func (h *Handle[K, V]) PopRelaxed() (K, V, bool) {
+	return h.h.RemoveMinRelaxed(0)
+}

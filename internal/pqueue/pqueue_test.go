@@ -1,0 +1,231 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"layeredsg/internal/core"
+	"layeredsg/internal/numa"
+)
+
+func config(t *testing.T, kind core.Kind, threads int) core.Config {
+	t.Helper()
+	topo, err := numa.New(2, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := numa.Pin(topo, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Config{
+		Machine:          m,
+		Kind:             kind,
+		CommissionPeriod: time.Microsecond,
+		Seed:             9,
+	}
+}
+
+func kinds() []core.Kind {
+	return []core.Kind{core.LayeredSG, core.LazyLayeredSG, core.LayeredSSG}
+}
+
+func TestSequentialOrdering(t *testing.T) {
+	for _, kind := range kinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			q, err := New[int64, int64](config(t, kind, 4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := q.Handle(0)
+			if _, _, ok := h.PopMin(); ok {
+				t.Fatal("PopMin on empty succeeded")
+			}
+			prios := rand.New(rand.NewSource(3)).Perm(200)
+			for _, p := range prios {
+				if !h.Push(int64(p), int64(p)*2) {
+					t.Fatalf("Push(%d) failed", p)
+				}
+			}
+			if p, _, ok := h.PeekMin(); !ok || p != 0 {
+				t.Fatalf("PeekMin = %d,%v", p, ok)
+			}
+			for want := int64(0); want < 200; want++ {
+				p, v, ok := h.PopMin()
+				if !ok || p != want || v != want*2 {
+					t.Fatalf("PopMin = %d,%d,%v want %d", p, v, ok, want)
+				}
+			}
+			if q.Len() != 0 {
+				t.Fatalf("Len = %d after draining", q.Len())
+			}
+		})
+	}
+}
+
+func TestDuplicatePriorityRejected(t *testing.T) {
+	q, err := New[int64, int64](config(t, core.LayeredSG, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := q.Handle(0)
+	if !h.Push(7, 1) || h.Push(7, 2) {
+		t.Fatal("duplicate priority handling wrong")
+	}
+}
+
+// TestConcurrentProducersConsumers: every pushed priority must be popped
+// exactly once, and per-consumer pop sequences must not regress wildly (we
+// check global exactly-once, the queue's linearizable extraction guarantee).
+func TestConcurrentProducersConsumers(t *testing.T) {
+	const producers, consumers = 4, 4
+	const perProducer = 500
+	q, err := New[int64, int64](config(t, core.LazyLayeredSG, producers+consumers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	popped := make([][]int64, consumers)
+	var produced sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		produced.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			defer produced.Done()
+			h := q.Handle(p)
+			base := int64(p) * 100000
+			for i := int64(0); i < perProducer; i++ {
+				if !h.Push(base+i, base+i) {
+					t.Errorf("push %d failed", base+i)
+					return
+				}
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() { produced.Wait(); close(done) }()
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			h := q.Handle(producers + c)
+			for {
+				prio, _, ok := h.PopMin()
+				if ok {
+					popped[c] = append(popped[c], prio)
+					continue
+				}
+				select {
+				case <-done:
+					// Producers finished; drain once more then exit.
+					if prio, _, ok := h.PopMin(); ok {
+						popped[c] = append(popped[c], prio)
+						continue
+					}
+					return
+				default:
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	var all []int64
+	for _, list := range popped {
+		all = append(all, list...)
+	}
+	if len(all) != producers*perProducer {
+		t.Fatalf("popped %d want %d", len(all), producers*perProducer)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i := 1; i < len(all); i++ {
+		if all[i] == all[i-1] {
+			t.Fatalf("priority %d popped twice", all[i])
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d left", q.Len())
+	}
+}
+
+func TestPopRelaxedDrainsExactlyOnce(t *testing.T) {
+	q, err := New[int64, int64](config(t, core.LazyLayeredSG, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := q.Handle(0)
+	const n = 300
+	for k := int64(0); k < n; k++ {
+		if !h.Push(k, k*2) {
+			t.Fatalf("push %d failed", k)
+		}
+	}
+	seen := make(map[int64]bool, n)
+	for i := 0; i < n; i++ {
+		p, v, ok := h.PopRelaxed()
+		if !ok {
+			t.Fatalf("pop %d failed with %d left", i, q.Len())
+		}
+		if v != p*2 {
+			t.Fatalf("value mismatch at %d", p)
+		}
+		if seen[p] {
+			t.Fatalf("priority %d popped twice", p)
+		}
+		seen[p] = true
+	}
+	if _, _, ok := h.PopRelaxed(); ok {
+		t.Fatal("pop on empty succeeded")
+	}
+}
+
+func TestConcurrentRelaxedConsumers(t *testing.T) {
+	const producers, consumers = 2, 4
+	q, err := New[int64, int64](config(t, core.LayeredSG, producers+consumers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perProducer = 400
+	for p := 0; p < producers; p++ {
+		h := q.Handle(p)
+		base := int64(p) * 10000
+		for i := int64(0); i < perProducer; i++ {
+			if !h.Push(base+i, base+i) {
+				t.Fatalf("push failed")
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	results := make([][]int64, consumers)
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			h := q.Handle(producers + c)
+			for {
+				p, _, ok := h.PopRelaxed()
+				if !ok {
+					return
+				}
+				results[c] = append(results[c], p)
+			}
+		}(c)
+	}
+	wg.Wait()
+	var all []int64
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	if len(all) != producers*perProducer {
+		t.Fatalf("popped %d want %d", len(all), producers*perProducer)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i := 1; i < len(all); i++ {
+		if all[i] == all[i-1] {
+			t.Fatalf("priority %d popped twice", all[i])
+		}
+	}
+}

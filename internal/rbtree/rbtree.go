@@ -1,0 +1,441 @@
+// Package rbtree implements a sequential red-black tree with bidirectional
+// iterators — the Go counterpart of the C++ std::map the paper uses as the
+// thread-local "local structure".
+//
+// The layered technique needs exactly the std::map operations the paper's
+// pseudocode relies on:
+//
+//   - getMaxLowerEqual(key): the greatest entry with key' <= key (Floor);
+//   - backward traversal from an iterator (getPrev), used by getStart and
+//     updateStart to walk toward smaller keys while shared nodes are found
+//     marked;
+//   - erase of *other* keys that does not invalidate a held iterator (the
+//     pseudocode comments "Erase below does not invalidate the iterator").
+//
+// Deletion therefore uses CLRS-style structural transplanting (no payload
+// copying), so an iterator stays valid as long as its own key is not erased.
+// The tree is strictly sequential: each instance belongs to one thread.
+package rbtree
+
+import "cmp"
+
+type color bool
+
+const (
+	red   color = false
+	black color = true
+)
+
+type nodeT[K cmp.Ordered, V any] struct {
+	key    K
+	value  V
+	left   *nodeT[K, V]
+	right  *nodeT[K, V]
+	parent *nodeT[K, V]
+	color  color
+}
+
+// Tree is a sequential ordered map. The zero value is not usable; call New.
+type Tree[K cmp.Ordered, V any] struct {
+	root *nodeT[K, V]
+	nil_ *nodeT[K, V] // shared NIL sentinel, always black
+	size int
+}
+
+// New returns an empty tree.
+func New[K cmp.Ordered, V any]() *Tree[K, V] {
+	sentinel := &nodeT[K, V]{color: black}
+	sentinel.left = sentinel
+	sentinel.right = sentinel
+	sentinel.parent = sentinel
+	return &Tree[K, V]{root: sentinel, nil_: sentinel}
+}
+
+// Len returns the number of entries.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+// Get returns the value stored under key.
+func (t *Tree[K, V]) Get(key K) (V, bool) {
+	n := t.find(key)
+	if n == t.nil_ {
+		var zero V
+		return zero, false
+	}
+	return n.value, true
+}
+
+// Set inserts or replaces the value under key, reporting whether a new entry
+// was created.
+func (t *Tree[K, V]) Set(key K, value V) bool {
+	parent := t.nil_
+	cur := t.root
+	for cur != t.nil_ {
+		parent = cur
+		switch {
+		case key < cur.key:
+			cur = cur.left
+		case key > cur.key:
+			cur = cur.right
+		default:
+			cur.value = value
+			return false
+		}
+	}
+	n := &nodeT[K, V]{key: key, value: value, left: t.nil_, right: t.nil_, parent: parent, color: red}
+	switch {
+	case parent == t.nil_:
+		t.root = n
+	case key < parent.key:
+		parent.left = n
+	default:
+		parent.right = n
+	}
+	t.insertFixup(n)
+	t.size++
+	return true
+}
+
+// Delete removes key, reporting whether it was present. Iterators pointing at
+// other keys remain valid.
+func (t *Tree[K, V]) Delete(key K) bool {
+	n := t.find(key)
+	if n == t.nil_ {
+		return false
+	}
+	t.deleteNode(n)
+	t.size--
+	return true
+}
+
+func (t *Tree[K, V]) find(key K) *nodeT[K, V] {
+	cur := t.root
+	for cur != t.nil_ {
+		switch {
+		case key < cur.key:
+			cur = cur.left
+		case key > cur.key:
+			cur = cur.right
+		default:
+			return cur
+		}
+	}
+	return t.nil_
+}
+
+// Iterator points at one tree entry. The zero Iterator is invalid. An
+// Iterator is invalidated only by erasing the entry it points at.
+type Iterator[K cmp.Ordered, V any] struct {
+	t *Tree[K, V]
+	n *nodeT[K, V]
+}
+
+// Valid reports whether the iterator points at an entry.
+func (it Iterator[K, V]) Valid() bool { return it.t != nil && it.n != it.t.nil_ && it.n != nil }
+
+// Key returns the entry's key. Call only when Valid.
+func (it Iterator[K, V]) Key() K { return it.n.key }
+
+// Value returns the entry's value. Call only when Valid.
+func (it Iterator[K, V]) Value() V { return it.n.value }
+
+// SetValue replaces the entry's value in place. Call only when Valid.
+func (it Iterator[K, V]) SetValue(v V) { it.n.value = v }
+
+// Prev returns an iterator at the greatest entry smaller than this one
+// (getPrev in the paper), or an invalid iterator at the minimum.
+func (it Iterator[K, V]) Prev() Iterator[K, V] {
+	return Iterator[K, V]{t: it.t, n: it.t.predecessor(it.n)}
+}
+
+// Next returns an iterator at the smallest entry greater than this one.
+func (it Iterator[K, V]) Next() Iterator[K, V] {
+	return Iterator[K, V]{t: it.t, n: it.t.successor(it.n)}
+}
+
+// Floor returns an iterator at the greatest entry with key' <= key — the
+// paper's getMaxLowerEqual — or an invalid iterator if none exists.
+func (t *Tree[K, V]) Floor(key K) Iterator[K, V] {
+	best := t.nil_
+	cur := t.root
+	for cur != t.nil_ {
+		switch {
+		case cur.key == key:
+			return Iterator[K, V]{t: t, n: cur}
+		case cur.key < key:
+			best = cur
+			cur = cur.right
+		default:
+			cur = cur.left
+		}
+	}
+	return Iterator[K, V]{t: t, n: best}
+}
+
+// Ceiling returns an iterator at the smallest entry with key' >= key, or an
+// invalid iterator if none exists.
+func (t *Tree[K, V]) Ceiling(key K) Iterator[K, V] {
+	best := t.nil_
+	cur := t.root
+	for cur != t.nil_ {
+		switch {
+		case cur.key == key:
+			return Iterator[K, V]{t: t, n: cur}
+		case cur.key > key:
+			best = cur
+			cur = cur.left
+		default:
+			cur = cur.right
+		}
+	}
+	return Iterator[K, V]{t: t, n: best}
+}
+
+// Find returns an iterator at key, or an invalid iterator.
+func (t *Tree[K, V]) Find(key K) Iterator[K, V] {
+	return Iterator[K, V]{t: t, n: t.find(key)}
+}
+
+// Min returns an iterator at the smallest entry.
+func (t *Tree[K, V]) Min() Iterator[K, V] {
+	return Iterator[K, V]{t: t, n: t.minimum(t.root)}
+}
+
+// Max returns an iterator at the greatest entry.
+func (t *Tree[K, V]) Max() Iterator[K, V] {
+	return Iterator[K, V]{t: t, n: t.maximum(t.root)}
+}
+
+// Ascend calls fn on every entry in key order until fn returns false.
+func (t *Tree[K, V]) Ascend(fn func(K, V) bool) {
+	for n := t.minimum(t.root); n != t.nil_; n = t.successor(n) {
+		if !fn(n.key, n.value) {
+			return
+		}
+	}
+}
+
+func (t *Tree[K, V]) minimum(n *nodeT[K, V]) *nodeT[K, V] {
+	if n == t.nil_ {
+		return n
+	}
+	for n.left != t.nil_ {
+		n = n.left
+	}
+	return n
+}
+
+func (t *Tree[K, V]) maximum(n *nodeT[K, V]) *nodeT[K, V] {
+	if n == t.nil_ {
+		return n
+	}
+	for n.right != t.nil_ {
+		n = n.right
+	}
+	return n
+}
+
+func (t *Tree[K, V]) successor(n *nodeT[K, V]) *nodeT[K, V] {
+	if n.right != t.nil_ {
+		return t.minimum(n.right)
+	}
+	p := n.parent
+	for p != t.nil_ && n == p.right {
+		n = p
+		p = p.parent
+	}
+	return p
+}
+
+func (t *Tree[K, V]) predecessor(n *nodeT[K, V]) *nodeT[K, V] {
+	if n.left != t.nil_ {
+		return t.maximum(n.left)
+	}
+	p := n.parent
+	for p != t.nil_ && n == p.left {
+		n = p
+		p = p.parent
+	}
+	return p
+}
+
+func (t *Tree[K, V]) leftRotate(x *nodeT[K, V]) {
+	y := x.right
+	x.right = y.left
+	if y.left != t.nil_ {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == t.nil_:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *Tree[K, V]) rightRotate(x *nodeT[K, V]) {
+	y := x.left
+	x.left = y.right
+	if y.right != t.nil_ {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == t.nil_:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+func (t *Tree[K, V]) insertFixup(z *nodeT[K, V]) {
+	for z.parent.color == red {
+		if z.parent == z.parent.parent.left {
+			y := z.parent.parent.right
+			if y.color == red {
+				z.parent.color = black
+				y.color = black
+				z.parent.parent.color = red
+				z = z.parent.parent
+			} else {
+				if z == z.parent.right {
+					z = z.parent
+					t.leftRotate(z)
+				}
+				z.parent.color = black
+				z.parent.parent.color = red
+				t.rightRotate(z.parent.parent)
+			}
+		} else {
+			y := z.parent.parent.left
+			if y.color == red {
+				z.parent.color = black
+				y.color = black
+				z.parent.parent.color = red
+				z = z.parent.parent
+			} else {
+				if z == z.parent.left {
+					z = z.parent
+					t.rightRotate(z)
+				}
+				z.parent.color = black
+				z.parent.parent.color = red
+				t.leftRotate(z.parent.parent)
+			}
+		}
+	}
+	t.root.color = black
+}
+
+// transplant replaces subtree u with subtree v.
+func (t *Tree[K, V]) transplant(u, v *nodeT[K, V]) {
+	switch {
+	case u.parent == t.nil_:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	v.parent = u.parent
+}
+
+// deleteNode removes z structurally (CLRS 13.4): when z has two children its
+// in-order successor y is moved into z's *position* by relinking, never by
+// copying payloads, so iterators at other entries stay valid.
+func (t *Tree[K, V]) deleteNode(z *nodeT[K, V]) {
+	y := z
+	yOriginalColor := y.color
+	var x *nodeT[K, V]
+	switch {
+	case z.left == t.nil_:
+		x = z.right
+		t.transplant(z, z.right)
+	case z.right == t.nil_:
+		x = z.left
+		t.transplant(z, z.left)
+	default:
+		y = t.minimum(z.right)
+		yOriginalColor = y.color
+		x = y.right
+		if y.parent == z {
+			x.parent = y
+		} else {
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.color = z.color
+	}
+	if yOriginalColor == black {
+		t.deleteFixup(x)
+	}
+	// Detach z so a stale iterator at z cannot silently walk the live tree.
+	z.left, z.right, z.parent = t.nil_, t.nil_, t.nil_
+}
+
+func (t *Tree[K, V]) deleteFixup(x *nodeT[K, V]) {
+	for x != t.root && x.color == black {
+		if x == x.parent.left {
+			w := x.parent.right
+			if w.color == red {
+				w.color = black
+				x.parent.color = red
+				t.leftRotate(x.parent)
+				w = x.parent.right
+			}
+			if w.left.color == black && w.right.color == black {
+				w.color = red
+				x = x.parent
+			} else {
+				if w.right.color == black {
+					w.left.color = black
+					w.color = red
+					t.rightRotate(w)
+					w = x.parent.right
+				}
+				w.color = x.parent.color
+				x.parent.color = black
+				w.right.color = black
+				t.leftRotate(x.parent)
+				x = t.root
+			}
+		} else {
+			w := x.parent.left
+			if w.color == red {
+				w.color = black
+				x.parent.color = red
+				t.rightRotate(x.parent)
+				w = x.parent.left
+			}
+			if w.right.color == black && w.left.color == black {
+				w.color = red
+				x = x.parent
+			} else {
+				if w.left.color == black {
+					w.right.color = black
+					w.color = red
+					t.leftRotate(w)
+					w = x.parent.left
+				}
+				w.color = x.parent.color
+				x.parent.color = black
+				w.left.color = black
+				t.rightRotate(x.parent)
+				x = t.root
+			}
+		}
+	}
+	x.color = black
+}

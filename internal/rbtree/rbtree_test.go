@@ -1,0 +1,290 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := New[int, string]()
+	if tr.Len() != 0 {
+		t.Fatal("empty Len != 0")
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("Get on empty succeeded")
+	}
+	if tr.Delete(1) {
+		t.Fatal("Delete on empty succeeded")
+	}
+	if tr.Floor(5).Valid() || tr.Ceiling(5).Valid() || tr.Min().Valid() || tr.Max().Valid() {
+		t.Fatal("iterators on empty tree are valid")
+	}
+}
+
+func TestSetGetDelete(t *testing.T) {
+	tr := New[int, int]()
+	for i := 0; i < 100; i++ {
+		if !tr.Set(i, i*10) {
+			t.Fatalf("Set(%d) reported existing", i)
+		}
+	}
+	if tr.Set(50, 999) {
+		t.Fatal("Set existing reported new")
+	}
+	if v, ok := tr.Get(50); !ok || v != 999 {
+		t.Fatalf("Get(50) = %v,%v", v, ok)
+	}
+	for i := 0; i < 100; i += 2 {
+		if !tr.Delete(i) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Len() != 50 {
+		t.Fatalf("Len = %d want 50", tr.Len())
+	}
+	for i := 0; i < 100; i++ {
+		_, ok := tr.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) present=%v want %v", i, ok, want)
+		}
+	}
+}
+
+func TestFloorCeiling(t *testing.T) {
+	tr := New[int, int]()
+	for _, k := range []int{10, 20, 30, 40} {
+		tr.Set(k, k)
+	}
+	cases := []struct {
+		key       int
+		floor     int
+		floorOK   bool
+		ceiling   int
+		ceilingOK bool
+	}{
+		{5, 0, false, 10, true},
+		{10, 10, true, 10, true},
+		{15, 10, true, 20, true},
+		{40, 40, true, 40, true},
+		{45, 40, true, 0, false},
+	}
+	for _, c := range cases {
+		fl := tr.Floor(c.key)
+		if fl.Valid() != c.floorOK || (c.floorOK && fl.Key() != c.floor) {
+			t.Fatalf("Floor(%d): valid=%v key=%v, want %v/%v", c.key, fl.Valid(), flKey(fl), c.floorOK, c.floor)
+		}
+		ce := tr.Ceiling(c.key)
+		if ce.Valid() != c.ceilingOK || (c.ceilingOK && ce.Key() != c.ceiling) {
+			t.Fatalf("Ceiling(%d): valid=%v, want %v/%v", c.key, ce.Valid(), c.ceilingOK, c.ceiling)
+		}
+	}
+}
+
+func flKey(it Iterator[int, int]) any {
+	if it.Valid() {
+		return it.Key()
+	}
+	return "invalid"
+}
+
+func TestIterationOrder(t *testing.T) {
+	tr := New[int, int]()
+	keys := rand.New(rand.NewSource(1)).Perm(500)
+	for _, k := range keys {
+		tr.Set(k, k)
+	}
+	// Forward from Min.
+	i := 0
+	for it := tr.Min(); it.Valid(); it = it.Next() {
+		if it.Key() != i {
+			t.Fatalf("forward order: got %d want %d", it.Key(), i)
+		}
+		i++
+	}
+	if i != 500 {
+		t.Fatalf("forward visited %d", i)
+	}
+	// Backward from Max (the getPrev traversal the paper relies on).
+	i = 499
+	for it := tr.Max(); it.Valid(); it = it.Prev() {
+		if it.Key() != i {
+			t.Fatalf("backward order: got %d want %d", it.Key(), i)
+		}
+		i--
+	}
+	if i != -1 {
+		t.Fatalf("backward stopped at %d", i)
+	}
+}
+
+// TestIteratorSurvivesOtherDeletes is the property getStart depends on:
+// erasing *other* keys must not invalidate a held iterator, and Prev from it
+// must still reach the correct remaining predecessor.
+func TestIteratorSurvivesOtherDeletes(t *testing.T) {
+	tr := New[int, int]()
+	for i := 0; i < 200; i++ {
+		tr.Set(i, i)
+	}
+	it := tr.Find(100)
+	if !it.Valid() {
+		t.Fatal("Find(100) invalid")
+	}
+	// Delete keys all around, including structural neighbours.
+	for _, k := range []int{99, 101, 98, 102, 0, 199, 150, 50, 103, 97} {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+	}
+	if !it.Valid() || it.Key() != 100 || it.Value() != 100 {
+		t.Fatalf("iterator damaged: valid=%v", it.Valid())
+	}
+	prev := it.Prev()
+	if !prev.Valid() || prev.Key() != 96 {
+		t.Fatalf("Prev = %v want 96", flKey(prev))
+	}
+	next := it.Next()
+	if !next.Valid() || next.Key() != 104 {
+		t.Fatalf("Next = %v want 104", flKey(next))
+	}
+}
+
+func TestAscend(t *testing.T) {
+	tr := New[int, int]()
+	for i := 0; i < 50; i++ {
+		tr.Set(i, i*2)
+	}
+	var got []int
+	tr.Ascend(func(k, v int) bool {
+		if v != k*2 {
+			t.Fatalf("value mismatch at %d", k)
+		}
+		got = append(got, k)
+		return k < 30
+	})
+	if len(got) != 31 || got[30] != 30 {
+		t.Fatalf("Ascend early stop: %v", got)
+	}
+}
+
+// checkRB validates the red-black invariants: root black, no red node with a
+// red child, equal black heights on every path, and in-order keys sorted.
+func checkRB[K int, V any](t *testing.T, tr *Tree[int, V]) {
+	t.Helper()
+	if tr.root.color != black {
+		t.Fatal("root is red")
+	}
+	var blackHeight func(n *nodeT[int, V]) int
+	blackHeight = func(n *nodeT[int, V]) int {
+		if n == tr.nil_ {
+			return 1
+		}
+		if n.color == red && (n.left.color == red || n.right.color == red) {
+			t.Fatal("red node with red child")
+		}
+		lh := blackHeight(n.left)
+		rh := blackHeight(n.right)
+		if lh != rh {
+			t.Fatalf("black height mismatch: %d vs %d", lh, rh)
+		}
+		if n.color == black {
+			return lh + 1
+		}
+		return lh
+	}
+	blackHeight(tr.root)
+	var keys []int
+	tr.Ascend(func(k int, _ V) bool { keys = append(keys, k); return true })
+	if !sort.IntsAreSorted(keys) {
+		t.Fatalf("in-order keys not sorted: %v", keys)
+	}
+	if len(keys) != tr.Len() {
+		t.Fatalf("Len=%d but iterated %d", tr.Len(), len(keys))
+	}
+}
+
+// TestQuickAgainstModel property-tests random op sequences against a map +
+// sort model, validating RB invariants as it goes.
+func TestQuickAgainstModel(t *testing.T) {
+	f := func(ops []int16) bool {
+		tr := New[int, int]()
+		model := make(map[int]int)
+		for i, raw := range ops {
+			key := int(raw) % 64
+			switch i % 3 {
+			case 0:
+				_, existed := model[key]
+				if tr.Set(key, i) == existed {
+					return false
+				}
+				model[key] = i
+			case 1:
+				_, existed := model[key]
+				if tr.Delete(key) != existed {
+					return false
+				}
+				delete(model, key)
+			default:
+				v, existed := model[key]
+				gv, ok := tr.Get(key)
+				if ok != existed || (existed && gv != v) {
+					return false
+				}
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		// Floor consistency on a sample of probes.
+		var keys []int
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		for probe := -65; probe <= 65; probe += 7 {
+			want, wantOK := modelFloor(keys, probe)
+			it := tr.Floor(probe)
+			if it.Valid() != wantOK || (wantOK && it.Key() != want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func modelFloor(sorted []int, probe int) (int, bool) {
+	best, ok := 0, false
+	for _, k := range sorted {
+		if k <= probe {
+			best, ok = k, true
+		}
+	}
+	return best, ok
+}
+
+func TestInvariantsUnderChurn(t *testing.T) {
+	tr := New[int, int]()
+	rng := rand.New(rand.NewSource(7))
+	live := make(map[int]bool)
+	for i := 0; i < 5000; i++ {
+		k := rng.Intn(300)
+		if rng.Intn(2) == 0 {
+			tr.Set(k, i)
+			live[k] = true
+		} else {
+			got := tr.Delete(k)
+			if got != live[k] {
+				t.Fatalf("Delete(%d) = %v want %v", k, got, live[k])
+			}
+			delete(live, k)
+		}
+		if i%500 == 0 {
+			checkRB[int, int](t, tr)
+		}
+	}
+	checkRB[int, int](t, tr)
+}

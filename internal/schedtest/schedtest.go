@@ -1,0 +1,168 @@
+// Package schedtest provides a deterministic concurrency stepper for
+// protocol testing. It exploits the same hook the paper's instrumentation
+// uses — every shared-node access flows through the stats recorder — to turn
+// instrumented accesses into *step points*: worker goroutines park at each
+// shared access and a controller, driven by a seeded RNG, decides which
+// worker advances next.
+//
+// The result is fine-grained, reproducible interleaving: a failing seed
+// replays the exact same shared-access schedule, unlike wall-clock stress
+// where interesting interleavings appear only probabilistically (and, on
+// hosts with fewer cores than workers, barely at all). Combined with
+// internal/lincheck this gives seeded schedule exploration of the lazy and
+// non-lazy protocols' races (revive vs. retire, relink vs. link, helper vs.
+// search).
+//
+// Scope: only *instrumented* accesses are step points. Code between two
+// shared accesses runs without preemption, which is exactly the granularity
+// at which the protocols interact — every linearization point is a shared
+// access.
+package schedtest
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Stepper coordinates worker goroutines at shared-access step points. It
+// implements stats.AccessSink, so plugging it into a stats.Recorder turns
+// every instrumented node access into a scheduling decision.
+type Stepper struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	rng     *rand.Rand
+	active  map[int]bool // registered workers still running ops
+	parked  map[int]bool // workers waiting at a step point
+	granted int          // thread allowed to advance; -1 = controller's turn
+	stopped bool
+}
+
+// NewStepper creates a stepper with a seeded schedule.
+func NewStepper(seed int64) *Stepper {
+	s := &Stepper{
+		rng:     rand.New(rand.NewSource(seed)),
+		active:  make(map[int]bool),
+		parked:  make(map[int]bool),
+		granted: -1,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Register announces a worker before it starts issuing operations.
+func (s *Stepper) Register(thread int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.active[thread] = true
+	s.cond.Broadcast()
+}
+
+// Done announces that a worker has finished all its operations.
+func (s *Stepper) Done(thread int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.active, thread)
+	delete(s.parked, thread)
+	if s.granted == thread {
+		// The worker exits holding an unconsumed grant (possible when it
+		// raced a Stop, or exited between grant and consumption); reclaim it
+		// or the remaining workers stall forever.
+		s.granted = -1
+	}
+	s.cond.Broadcast()
+}
+
+// Access implements stats.AccessSink: park until the scheduler grants this
+// thread a step.
+func (s *Stepper) Access(thread int, _ uint64, _ bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped || !s.active[thread] {
+		return
+	}
+	s.parked[thread] = true
+	s.cond.Broadcast()
+	for !s.stopped && s.granted != thread {
+		// Self-heal: a grant held by a thread that is no longer active can
+		// never be consumed; reclaim it so scheduling continues.
+		if s.granted != -1 && !s.active[s.granted] {
+			s.granted = -1
+		}
+		// Opportunistically run scheduling decisions from parked workers so
+		// no dedicated controller goroutine is needed: whichever worker
+		// observes "everyone parked, nobody granted" picks the next thread.
+		if s.granted == -1 && len(s.parked) == len(s.active) && len(s.parked) > 0 {
+			s.grantLocked()
+			continue
+		}
+		s.cond.Wait()
+	}
+	if s.stopped {
+		return
+	}
+	// Consume the grant and proceed with the access.
+	s.granted = -1
+	delete(s.parked, thread)
+	s.cond.Broadcast()
+}
+
+// grantLocked picks a parked thread at random (seeded) and grants it.
+func (s *Stepper) grantLocked() {
+	candidates := make([]int, 0, len(s.parked))
+	for t := range s.parked {
+		candidates = append(candidates, t)
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	// Sort-free deterministic pick: map iteration is randomized, so choose
+	// via min-shuffle over the seeded RNG instead.
+	min := candidates[0]
+	for _, c := range candidates[1:] {
+		if c < min {
+			min = c
+		}
+	}
+	pick := min
+	hops := s.rng.Intn(len(candidates))
+	for i := 0; i < hops; i++ {
+		pick = nextAbove(candidates, pick)
+	}
+	s.granted = pick
+	s.cond.Broadcast()
+}
+
+// nextAbove returns the next candidate above cur, wrapping to the minimum.
+func nextAbove(candidates []int, cur int) int {
+	best := -1
+	min := candidates[0]
+	for _, c := range candidates {
+		if c < min {
+			min = c
+		}
+		if c > cur && (best == -1 || c < best) {
+			best = c
+		}
+	}
+	if best == -1 {
+		return min
+	}
+	return best
+}
+
+// Stop releases every parked worker unconditionally (teardown).
+func (s *Stepper) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stopped = true
+	s.cond.Broadcast()
+}
+
+// String diagnoses the stepper state.
+func (s *Stepper) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fmt.Sprintf("stepper{active:%d parked:%d granted:%d stopped:%v}",
+		len(s.active), len(s.parked), s.granted, s.stopped)
+}

@@ -1,0 +1,105 @@
+package skipgraph
+
+import (
+	"layeredsg/internal/node"
+	"layeredsg/internal/stats"
+)
+
+// InsertHelper is the paper's Alg. 2. Given a shared node holding the goal
+// key, it tries to finish an insert operation on the spot:
+//
+//   - lazy protocol: an unmarked valid node is a duplicate (failed insert,
+//     case I-i); an unmarked invalid node is revived by atomically flipping
+//     its valid bit (successful insert, case I-ii).
+//   - non-lazy protocol: an unmarked node is a duplicate.
+//
+// done=false means the node turned out to be marked: the caller must clean
+// its local structures and fall through to the lazy insertion path.
+func (sg *SG[K, V]) InsertHelper(n *node.Node[K, V], tr *stats.ThreadRecorder) (done, inserted bool) {
+	if !sg.cfg.Lazy {
+		if !n.Marked(0, tr) {
+			return true, false
+		}
+		return false, false
+	}
+	for {
+		marked, valid := n.MarkValid(0, tr)
+		if marked {
+			return false, false
+		}
+		if valid {
+			return true, false // Duplicate (I-i).
+		}
+		if n.CASMarkValid(0, false, false, false, true, tr) {
+			return true, true // Flipped valid (I-ii).
+		}
+	}
+}
+
+// LinkLevel0 performs the bottom-level link of the paper's Alg. 3 lines
+// 13–14: point the inserting node at Succs[0] and swing the predecessor's
+// level-0 reference from the observed Middles[0] across any chain of marked
+// references to the new node — the relink optimization. The store on the
+// inserting node itself is raw (uninstrumented), the predecessor CAS is a
+// maintenance CAS.
+func (sg *SG[K, V]) LinkLevel0(res *SearchResult[K, V], toInsert *node.Node[K, V], tr *stats.ThreadRecorder) bool {
+	toInsert.RawStore(0, res.Succs[0], false, true)
+	return res.Preds[0].CASNext(0, res.Middles[0], toInsert, tr)
+}
+
+// FinishInsert is the paper's Alg. 10: link an already-bottom-linked node at
+// levels 1..topLevel of its associated skip list. `start` seeds the search
+// (it must share the node's membership vector to be useful; incompatible or
+// nil starts fall back to the head of the node's skip list). restart, when
+// non-nil, supplies a fresh start after a failed level CAS (the layered map
+// passes updateStart); res is caller-provided scratch.
+//
+// Returns false if the node was marked before all levels could be linked; in
+// either case the node's inserted flag is set when this call stops working on
+// it, so the layered map never retries a finished or doomed node.
+func (sg *SG[K, V]) FinishInsert(toInsert, start *node.Node[K, V], restart func() *node.Node[K, V], res *SearchResult[K, V], tr *stats.ThreadRecorder) bool {
+	key := toInsert.Key()
+	vector := toInsert.Vector()
+	if start != nil && start.IsData() && start.Vector() != vector {
+		// A start in a different skip list would yield predecessors in lists
+		// this node does not belong to.
+		start = sg.Head(vector)
+	}
+	if !sg.LazyRelinkSearch(key, start, vector, res, tr) || res.Succs[0] != toInsert {
+		// The node was marked (or superseded by a fresh node with the same
+		// key) before we could locate it unmarked.
+		return false
+	}
+	level := 1
+	for level <= toInsert.TopLevel() {
+		// Point the inserting node at this level's successor. Raw accessors:
+		// operations on one's own inserting node are excluded from metrics.
+		oldSucc := toInsert.RawNext(level)
+		for !toInsert.RawCASNext(level, oldSucc, res.Succs[level]) {
+			if toInsert.RawMarked(level) {
+				// Marked mid-linking: abort (Alg. 10 lines 10–12).
+				toInsert.MarkInserted()
+				return false
+			}
+			oldSucc = toInsert.RawNext(level)
+		}
+		if !res.Preds[level].CASNext(level, res.Middles[level], toInsert, tr) {
+			// Predecessor moved on: re-search from a fresh start and retry
+			// this level (Alg. 10 lines 13–16).
+			var fresh *node.Node[K, V]
+			if restart != nil {
+				fresh = restart()
+			}
+			if fresh != nil && fresh.IsData() && fresh.Vector() != vector {
+				fresh = sg.Head(vector)
+			}
+			if !sg.LazyRelinkSearch(key, fresh, vector, res, tr) || res.Succs[0] != toInsert {
+				return false
+			}
+			continue
+		}
+		level++
+	}
+	toInsert.MarkInserted()
+	return true
+}

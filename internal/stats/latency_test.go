@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"testing"
+	"time"
+
+	"layeredsg/internal/numa"
+)
+
+func TestDefaultLatencyModel(t *testing.T) {
+	m := DefaultLatencyModel()
+	if m.ReadPenaltyPerDistance <= 0 || m.CASPenaltyPerDistance <= 0 {
+		t.Fatalf("default model has zero penalties: %+v", m)
+	}
+	if m.CASPenaltyPerDistance <= m.ReadPenaltyPerDistance {
+		t.Fatal("CAS must be dearer than a read")
+	}
+}
+
+func TestSpinTablePenaltiesOnlyRemote(t *testing.T) {
+	topo, err := numa.New(2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calibrate()
+	table := spinTable(topo, 0, 100*time.Nanosecond)
+	if table[0] != 0 {
+		t.Fatalf("local access charged %d iterations", table[0])
+	}
+	if table[1] <= 0 {
+		t.Fatal("remote access not charged")
+	}
+}
+
+func TestSpinTableScalesWithDistance(t *testing.T) {
+	topo, err := numa.NewWithDistances(3, 1, 1, [][]int{
+		{10, 16, 22},
+		{16, 10, 22},
+		{22, 22, 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calibrate()
+	table := spinTable(topo, 0, 100*time.Nanosecond)
+	if !(table[0] == 0 && table[1] < table[2]) {
+		t.Fatalf("penalties not monotone in distance: %v", table)
+	}
+	// Excess-proportionality: (22-10)/(16-10) = 2× (± integer rounding).
+	if diff := table[2] - 2*table[1]; diff < -1 || diff > 1 {
+		t.Fatalf("penalty ratio %d/%d, want 2×", table[2], table[1])
+	}
+}
+
+func TestSetLatencyChargesRemoteAccesses(t *testing.T) {
+	topo, err := numa.New(2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine, err := numa.Pin(topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRecorder(machine, nil)
+	r.SetLatency(LatencyModel{
+		ReadPenaltyPerDistance: 300 * time.Nanosecond, // remote ≈ 3.3 µs
+		CASPenaltyPerDistance:  300 * time.Nanosecond,
+	})
+	tr := r.ThreadRecorder(0)
+
+	const n = 2000
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		tr.Read(0, 0, 1) // local: free
+	}
+	localElapsed := time.Since(start)
+
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		tr.Read(1, 1, 2) // remote: charged
+	}
+	remoteElapsed := time.Since(start)
+
+	if remoteElapsed < 4*localElapsed {
+		t.Fatalf("remote accesses not noticeably charged: local %v remote %v", localElapsed, remoteElapsed)
+	}
+	// Counting must still work with latency attached.
+	s := r.Summary()
+	_ = s
+	if got := r.ReadHeatmap()[0][1]; got != n {
+		t.Fatalf("heatmap row = %d want %d", got, n)
+	}
+}
+
+func TestCalibrateIdempotent(t *testing.T) {
+	calibrate()
+	first := itersPerNano
+	calibrate()
+	if itersPerNano != first {
+		t.Fatal("calibrate ran twice")
+	}
+	if itersPerNano <= 0 {
+		t.Fatal("calibration produced nonpositive rate")
+	}
+}

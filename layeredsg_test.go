@@ -1,0 +1,215 @@
+package layeredsg
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testMachine(t *testing.T, threads int) *Machine {
+	t.Helper()
+	topo, err := NewTopology(2, 4, 2)
+	if err != nil {
+		t.Fatalf("topology: %v", err)
+	}
+	m, err := Pin(topo, threads)
+	if err != nil {
+		t.Fatalf("pin: %v", err)
+	}
+	return m
+}
+
+func testOptions() AdapterOptions {
+	return AdapterOptions{
+		KeySpace:         1 << 10,
+		CommissionPeriod: 50 * time.Microsecond,
+		Seed:             7,
+	}
+}
+
+// TestAlgorithmsSequentialModel drives every registered algorithm against an
+// in-memory model with a single thread: insert/remove/contains return values
+// must match exact set semantics.
+func TestAlgorithmsSequentialModel(t *testing.T) {
+	for _, name := range Algorithms() {
+		t.Run(name, func(t *testing.T) {
+			machine := testMachine(t, 4)
+			a, err := NewAdapter(name, machine, testOptions())
+			if err != nil {
+				t.Fatalf("NewAdapter: %v", err)
+			}
+			defer a.Close()
+			h := a.Handle(0)
+			model := make(map[int64]bool)
+			rng := rand.New(rand.NewSource(99))
+			for i := 0; i < 4000; i++ {
+				key := rng.Int63n(128)
+				switch rng.Intn(3) {
+				case 0:
+					want := !model[key]
+					if got := h.Insert(key, key); got != want {
+						t.Fatalf("op %d: Insert(%d) = %v want %v", i, key, got, want)
+					}
+					model[key] = true
+				case 1:
+					want := model[key]
+					if got := h.Remove(key); got != want {
+						t.Fatalf("op %d: Remove(%d) = %v want %v", i, key, got, want)
+					}
+					delete(model, key)
+				default:
+					want := model[key]
+					if got := h.Contains(key); got != want {
+						t.Fatalf("op %d: Contains(%d) = %v want %v", i, key, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAlgorithmsConcurrentDisjoint gives every thread a disjoint key range;
+// afterwards each thread's deterministic leftovers must be visible to all.
+func TestAlgorithmsConcurrentDisjoint(t *testing.T) {
+	const threads = 8
+	const perThread = 150
+	for _, name := range Algorithms() {
+		t.Run(name, func(t *testing.T) {
+			machine := testMachine(t, threads)
+			a, err := NewAdapter(name, machine, testOptions())
+			if err != nil {
+				t.Fatalf("NewAdapter: %v", err)
+			}
+			defer a.Close()
+			var wg sync.WaitGroup
+			for th := 0; th < threads; th++ {
+				wg.Add(1)
+				go func(th int) {
+					defer wg.Done()
+					h := a.Handle(th)
+					base := int64(th) * 100000
+					for k := int64(0); k < perThread; k++ {
+						if !h.Insert(base+k, k) {
+							t.Errorf("thread %d: insert %d failed", th, base+k)
+							return
+						}
+					}
+					for k := int64(1); k < perThread; k += 2 {
+						if !h.Remove(base + k) {
+							t.Errorf("thread %d: remove %d failed", th, base+k)
+							return
+						}
+					}
+				}(th)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			h := a.Handle(0)
+			for th := 0; th < threads; th++ {
+				base := int64(th) * 100000
+				for k := int64(0); k < perThread; k++ {
+					want := k%2 == 0
+					if got := h.Contains(base + k); got != want {
+						t.Fatalf("Contains(%d) = %v want %v", base+k, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAlgorithmsTrialSmoke runs a short Synchrobench-style trial per
+// algorithm: the harness must complete and report a plausible effective
+// update percentage.
+func TestAlgorithmsTrialSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trial smoke is slow")
+	}
+	machine := testMachine(t, 4)
+	w := Workload{
+		KeySpace:        1 << 8,
+		UpdateRatio:     0.5,
+		Duration:        50 * time.Millisecond,
+		PreloadFraction: 0.2,
+		Seed:            3,
+	}
+	for _, name := range Algorithms() {
+		t.Run(name, func(t *testing.T) {
+			a, err := NewAdapter(name, machine, testOptions())
+			if err != nil {
+				t.Fatalf("NewAdapter: %v", err)
+			}
+			defer a.Close()
+			res, err := RunTrial(machine, a, w)
+			if err != nil {
+				t.Fatalf("RunTrial: %v", err)
+			}
+			if res.TotalOps == 0 {
+				t.Fatal("no operations completed")
+			}
+			if res.EffectiveUpdatePct <= 0 || res.EffectiveUpdatePct > 60 {
+				t.Fatalf("effective updates %.1f%% implausible for 50%% requested", res.EffectiveUpdatePct)
+			}
+		})
+	}
+}
+
+func TestRegistryCoversEveryPaperLabel(t *testing.T) {
+	want := []string{
+		"layered_map_sg", "lazy_layered_sg", "layered_map_ssg", "lazy_layered_ssg",
+		"layered_map_ll", "layered_map_sl",
+		"skiplist", "lockedskiplist", "skipgraph_nolayer",
+		"nohotspot", "rotating", "numask",
+	}
+	got := Algorithms()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d algorithms want %d: %v", len(got), len(want), got)
+	}
+	set := map[string]bool{}
+	for _, name := range got {
+		set[name] = true
+	}
+	for _, name := range want {
+		if !set[name] {
+			t.Fatalf("registry missing %q", name)
+		}
+	}
+}
+
+func TestNewAdapterErrors(t *testing.T) {
+	machine := testMachine(t, 2)
+	if _, err := NewAdapter("bogus", machine, AdapterOptions{}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	// Skip-list height requires a key space.
+	if _, err := NewAdapter("skiplist", machine, AdapterOptions{KeySpace: 4}); err != nil {
+		t.Fatalf("tiny key space rejected: %v", err)
+	}
+}
+
+func TestRunAverageAggregatesRuns(t *testing.T) {
+	machine := testMachine(t, 2)
+	res, err := RunAverage(machine, "layered_map_ll", AdapterOptions{KeySpace: 64}, Workload{
+		KeySpace:        64,
+		UpdateRatio:     0.5,
+		Duration:        15 * time.Millisecond,
+		PreloadFraction: 0.2,
+		Seed:            1,
+		YieldEvery:      1,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOps == 0 || res.Algorithm != "layered_map_ll" {
+		t.Fatalf("bad result: %+v", res)
+	}
+}
+
+func TestMaxLevelFacade(t *testing.T) {
+	if MaxLevel(96) != 6 || MaxLevel(2) != 0 {
+		t.Fatal("MaxLevel facade wrong")
+	}
+}

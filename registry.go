@@ -1,0 +1,196 @@
+package layeredsg
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"time"
+
+	"layeredsg/internal/competitors"
+	"layeredsg/internal/core"
+	"layeredsg/internal/direct"
+	"layeredsg/internal/lockedskiplist"
+	"layeredsg/internal/numa"
+	"layeredsg/internal/sbench"
+	"layeredsg/internal/stats"
+)
+
+// Adapter is a benchmark-ready wrapper around one concurrent map instance
+// (see internal/sbench).
+type Adapter = sbench.Adapter
+
+// OpHandle is a single-threaded view of a map under benchmark.
+type OpHandle = sbench.OpHandle
+
+// Workload describes one Synchrobench-style trial.
+type Workload = sbench.Workload
+
+// Result is one trial's outcome.
+type Result = sbench.Result
+
+// AdapterOptions parameterize algorithm construction for benchmarking.
+type AdapterOptions struct {
+	// KeySpace sizes non-layered skip lists (height = log2 key space, per the
+	// paper). Required for "skiplist" and "lockedskiplist".
+	KeySpace int64
+	// Recorder, when non-nil, enables instrumentation.
+	Recorder *stats.Recorder
+	// Scheme selects membership vectors for partitioned structures; zero
+	// value means NUMA-aware.
+	Scheme Scheme
+	// CommissionPeriod overrides the lazy variants' commission period.
+	CommissionPeriod time.Duration
+	// Seed makes structure-internal randomness deterministic.
+	Seed int64
+}
+
+type simpleAdapter struct {
+	name   string
+	handle func(int) sbench.OpHandle
+	close  func()
+}
+
+func (a *simpleAdapter) Name() string                 { return a.name }
+func (a *simpleAdapter) Handle(t int) sbench.OpHandle { return a.handle(t) }
+func (a *simpleAdapter) Close()                       { a.close() }
+
+var _ sbench.Adapter = (*simpleAdapter)(nil)
+
+func heightFor(keySpace int64) int {
+	if keySpace <= 2 {
+		return 1
+	}
+	return bits.Len64(uint64(keySpace - 1))
+}
+
+type algoBuilder func(m *numa.Machine, o AdapterOptions) (Adapter, error)
+
+func layeredBuilder(kind core.Kind) algoBuilder {
+	return func(m *numa.Machine, o AdapterOptions) (Adapter, error) {
+		lm, err := core.New[int64, int64](core.Config{
+			Machine:          m,
+			Kind:             kind,
+			Scheme:           o.Scheme,
+			CommissionPeriod: o.CommissionPeriod,
+			Recorder:         o.Recorder,
+			Seed:             o.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &simpleAdapter{
+			name:   kind.String(),
+			handle: func(t int) sbench.OpHandle { return lm.Handle(t) },
+			close:  func() {},
+		}, nil
+	}
+}
+
+func directBuilder(shape direct.Shape) algoBuilder {
+	return func(m *numa.Machine, o AdapterOptions) (Adapter, error) {
+		dm, err := direct.New[int64, int64](direct.Config{
+			Machine:  m,
+			Shape:    shape,
+			Height:   heightFor(o.KeySpace),
+			Scheme:   o.Scheme,
+			Recorder: o.Recorder,
+			Seed:     o.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &simpleAdapter{
+			name:   shape.String(),
+			handle: func(t int) sbench.OpHandle { return dm.Handle(t) },
+			close:  func() {},
+		}, nil
+	}
+}
+
+func competitorBuilder(alg competitors.Algorithm) algoBuilder {
+	return func(m *numa.Machine, o AdapterOptions) (Adapter, error) {
+		cm, err := competitors.New[int64, int64](competitors.Config{
+			Machine:   m,
+			Algorithm: alg,
+			Recorder:  o.Recorder,
+			Seed:      o.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &simpleAdapter{
+			name:   alg.String(),
+			handle: func(t int) sbench.OpHandle { return cm.Handle(t) },
+			close:  cm.Close,
+		}, nil
+	}
+}
+
+func lockedBuilder() algoBuilder {
+	return func(m *numa.Machine, o AdapterOptions) (Adapter, error) {
+		lm, err := lockedskiplist.New[int64, int64](lockedskiplist.Config{
+			Machine:  m,
+			Height:   heightFor(o.KeySpace),
+			Recorder: o.Recorder,
+			Seed:     o.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &simpleAdapter{
+			name:   "lockedskiplist",
+			handle: func(t int) sbench.OpHandle { return lm.Handle(t) },
+			close:  func() {},
+		}, nil
+	}
+}
+
+// builders maps the paper's algorithm labels to constructors.
+var builders = map[string]algoBuilder{
+	"layered_map_sg":    layeredBuilder(core.LayeredSG),
+	"lazy_layered_sg":   layeredBuilder(core.LazyLayeredSG),
+	"layered_map_ssg":   layeredBuilder(core.LayeredSSG),
+	"lazy_layered_ssg":  layeredBuilder(core.LazyLayeredSSG),
+	"layered_map_ll":    layeredBuilder(core.LayeredLL),
+	"layered_map_sl":    layeredBuilder(core.LayeredSL),
+	"skiplist":          directBuilder(direct.SkipList),
+	"skipgraph_nolayer": directBuilder(direct.SkipGraph),
+	"lockedskiplist":    lockedBuilder(),
+	"nohotspot":         competitorBuilder(competitors.NoHotspot),
+	"rotating":          competitorBuilder(competitors.Rotating),
+	"numask":            competitorBuilder(competitors.NUMASK),
+}
+
+// Algorithms lists every registered algorithm label, sorted.
+func Algorithms() []string {
+	names := make([]string, 0, len(builders))
+	for name := range builders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewAdapter builds the named algorithm over int64 keys and values, ready
+// for the benchmark harness. Labels follow the paper's evaluation section;
+// see Algorithms.
+func NewAdapter(name string, machine *Machine, opts AdapterOptions) (Adapter, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("layeredsg: unknown algorithm %q (known: %v)", name, Algorithms())
+	}
+	return b(machine, opts)
+}
+
+// RunTrial preloads and runs one Synchrobench-style trial on an adapter.
+func RunTrial(machine *Machine, a Adapter, w Workload) (Result, error) {
+	return sbench.Trial(machine, a, w)
+}
+
+// RunAverage averages `runs` independent trials on fresh instances of the
+// named algorithm (the paper averages 5 runs of 10 s each).
+func RunAverage(machine *Machine, name string, opts AdapterOptions, w Workload, runs int) (Result, error) {
+	return sbench.Average(machine, func() (Adapter, error) {
+		return NewAdapter(name, machine, opts)
+	}, w, runs)
+}
