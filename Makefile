@@ -1,0 +1,32 @@
+# Tier-1 verification plus the repo's standard hygiene passes.
+#
+#   make          — the full CI sequence (build, test, vet, race)
+#   make race     — short-mode race pass over the confinement-sensitive
+#                   packages: internal/core (handle migration contract),
+#                   the root package (Store facade leasing), and
+#                   internal/sbench (oversubscribed trials)
+#   make bench    — the Store-overhead benchmark pair (see EXPERIMENTS.md)
+
+GO ?= go
+
+.PHONY: ci build test vet race bench fmt
+
+ci: build test vet race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race -short ./internal/core ./internal/sbench .
+
+bench:
+	$(GO) test -run '^$$' -bench 'Store' -benchtime 3x .
+
+fmt:
+	gofmt -l .

@@ -7,6 +7,14 @@
 //	        -duration 2s -runs 3
 //
 // Algorithm labels follow the paper; run with -list to see them.
+//
+// Both access styles are benchmarkable: the default drives raw confined
+// handles (one worker per pinned thread, the paper's setting); -via-store
+// drives the goroutine-safe Store facade instead, and -goroutines N then
+// oversubscribes it with more workers than pinned threads (request-serving
+// style):
+//
+//	sgbench -algo lazy_layered_sg -threads 16 -via-store -goroutines 64
 package main
 
 import (
@@ -44,6 +52,8 @@ func run(args []string, w io.Writer) error {
 		sockets  = fs.Int("sockets", 2, "simulated sockets")
 		cores    = fs.Int("cores", 24, "cores per socket")
 		smt      = fs.Int("smt", 2, "hardware threads per core")
+		viaStore = fs.Bool("via-store", false, "drive the goroutine-safe Store facade instead of raw handles (layered variants only)")
+		workers  = fs.Int("goroutines", 0, "worker goroutines (0 = one per thread; >threads requires -via-store)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,16 +80,21 @@ func run(args []string, w io.Writer) error {
 		Seed:            *seed,
 		LockOSThread:    *pin,
 		YieldEvery:      *yield,
+		Goroutines:      *workers,
 	}
 	res, err := layeredsg.RunAverage(machine, *algo, layeredsg.AdapterOptions{
 		KeySpace: *keySpace,
 		Seed:     *seed,
+		ViaStore: *viaStore,
 	}, wl, *runs)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "algorithm:          %s\n", res.Algorithm)
 	fmt.Fprintf(w, "threads:            %d\n", res.Threads)
+	if res.Goroutines != res.Threads {
+		fmt.Fprintf(w, "goroutines:         %d (oversubscribed via Store leases)\n", res.Goroutines)
+	}
 	fmt.Fprintf(w, "throughput:         %.0f ops/ms\n", res.OpsPerMs)
 	fmt.Fprintf(w, "total operations:   %d (%d runs)\n", res.TotalOps, *runs)
 	fmt.Fprintf(w, "effective updates:  %.1f%% (requested %.0f%%)\n", res.EffectiveUpdatePct, *update*100)

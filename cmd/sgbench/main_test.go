@@ -47,3 +47,35 @@ func TestErrors(t *testing.T) {
 		t.Fatal("zero threads accepted")
 	}
 }
+
+func TestViaStoreTrialRuns(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-algo", "lazy_layered_sg",
+		"-threads", "4",
+		"-sockets", "2", "-cores", "2", "-smt", "1",
+		"-keyspace", "256",
+		"-duration", "30ms",
+		"-via-store",
+		"-goroutines", "16",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"lazy_layered_sg+store", "goroutines:         16"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	// Oversubscribing raw handles must fail.
+	if err := run([]string{
+		"-algo", "lazy_layered_sg",
+		"-threads", "4",
+		"-sockets", "2", "-cores", "2", "-smt", "1",
+		"-duration", "10ms",
+		"-goroutines", "16",
+	}, &out); err == nil {
+		t.Fatal("oversubscribed confined handles accepted")
+	}
+}

@@ -1,10 +1,19 @@
 // kvstore: a concurrent session store built on the layered map — the kind of
-// read-mostly, update-some workload the paper's introduction motivates.
+// read-mostly, update-some workload the paper's introduction motivates, run
+// the way a production service would: request-serving goroutines created
+// freely, far more of them than pinned threads.
 //
-// Sessions are stored under int64 session IDs; a fleet of frontend workers
-// looks sessions up, refreshes some, and expires others. The example prints
-// throughput and, because the store runs instrumented, the NUMA locality the
-// layered design achieves on the simulated machine.
+// This example uses the goroutine-safe Store facade. Under the hood each
+// operation leases one of the machine's confined per-thread handles
+// (exclusively, preserving the layered design's sequential local
+// structures), biased so a goroutine tends to reuse the handle whose
+// membership vector matches its scheduler placement. Compare
+// examples/quickstart, which drives confined handles directly — the fast
+// path when you control worker identity.
+//
+// The example prints throughput, the NUMA locality the layered design
+// achieves on the simulated machine, and the lease layer's own contention
+// profile (fast-path hits vs. migrations vs. blocking waits).
 //
 //	go run ./examples/kvstore
 package main
@@ -14,6 +23,7 @@ import (
 	"log"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"layeredsg"
@@ -28,14 +38,15 @@ type Session struct {
 
 func main() {
 	topo := layeredsg.PaperMachine()
-	const workers = 16
-	machine, err := layeredsg.Pin(topo, workers)
+	const threads = 16   // pinned logical threads = handle stripes
+	const frontends = 64 // request-serving goroutines, 4× the stripes
+	machine, err := layeredsg.Pin(topo, threads)
 	if err != nil {
 		log.Fatal(err)
 	}
 	recorder := layeredsg.NewRecorder(machine, nil)
 
-	store, err := layeredsg.New[int64, Session](layeredsg.Config{
+	store, err := layeredsg.NewStore[int64, Session](layeredsg.Config{
 		Machine:  machine,
 		Kind:     layeredsg.LazyLayeredSG,
 		Recorder: recorder,
@@ -47,43 +58,52 @@ func main() {
 	const keySpace = 1 << 16
 	start := time.Now()
 	var wg sync.WaitGroup
-	var totalOps int64
-	var mu sync.Mutex
-	for w := 0; w < workers; w++ {
+	var totalOps atomic.Int64
+	for w := 0; w < frontends; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			h := store.Handle(w)
 			rng := rand.New(rand.NewSource(int64(w) + 1))
 			ops := 0
 			for time.Since(start) < 300*time.Millisecond {
 				id := rng.Int63n(keySpace)
 				switch {
 				case rng.Float64() < 0.80: // lookup
-					h.Get(id)
+					store.Get(id)
 				case rng.Float64() < 0.5: // login
-					h.Insert(id, Session{User: fmt.Sprintf("user-%d", id), CreatedAt: time.Now()})
+					store.Insert(id, Session{User: fmt.Sprintf("user-%d", id), CreatedAt: time.Now()})
 				default: // logout
-					h.Remove(id)
+					store.Remove(id)
 				}
 				ops++
 			}
-			mu.Lock()
-			totalOps += int64(ops)
-			mu.Unlock()
+			// A batch lookup amortizes one lease over many reads — the bulk
+			// path for fan-out requests.
+			ids := make([]int64, 32)
+			for i := range ids {
+				ids[i] = rng.Int63n(keySpace)
+			}
+			store.GetBatch(ids)
+			ops += len(ids)
+			totalOps.Add(int64(ops))
 		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
 	s := recorder.Summary()
-	fmt.Printf("sessions live:        %d\n", store.Len())
+	fmt.Printf("frontend goroutines:  %d over %d handle stripes\n", frontends, store.Stripes())
+	fmt.Printf("sessions live:        %d\n", store.Map().Len())
 	fmt.Printf("throughput:           %.0f ops/ms (%d ops in %v)\n",
-		float64(totalOps)/float64(elapsed.Milliseconds()), totalOps, elapsed.Round(time.Millisecond))
+		float64(totalOps.Load())/float64(elapsed.Milliseconds()), totalOps.Load(), elapsed.Round(time.Millisecond))
 	localityDen := s.LocalReadsPerOp + s.RemoteReadsPerOp
 	if localityDen > 0 {
 		fmt.Printf("shared-read locality: %.1f%% local (%.2f local vs %.2f remote reads/op)\n",
 			100*s.LocalReadsPerOp/localityDen, s.LocalReadsPerOp, s.RemoteReadsPerOp)
 	}
 	fmt.Printf("CAS success rate:     %.3f\n", s.CASSuccessRate)
+
+	ls := store.LeaseStats()
+	fmt.Printf("lease acquisitions:   %d (%.1f%% fast-path hits, %d migrations, %d blocked)\n",
+		ls.Acquires, 100*ls.HitRate, ls.Migrations, ls.Blocks)
 }

@@ -1,5 +1,12 @@
 // Quickstart: build a layered map, spawn one worker per simulated hardware
-// thread, and exercise the map API.
+// thread, and exercise the map API — then the same structure through the
+// goroutine-safe Store facade, where goroutines come and go freely.
+//
+// Confined handles (part 1) are the fast path: one handle per worker, no
+// synchronization. The Store (part 2) layers handle leasing on top so *any*
+// goroutine can operate without owning a handle — the right choice for
+// request-serving services. See examples/kvstore for the Store under a
+// service-shaped workload.
 //
 //	go run ./examples/quickstart
 package main
@@ -64,4 +71,33 @@ func main() {
 	fmt.Println("total keys:", m.Len())
 	fmt.Println("skip graph height:", m.MaxLevel(), "(= ceil(log2 workers) - 1)")
 	fmt.Printf("worker 0 membership vector: %02b\n", m.Vector(0))
+
+	// Part 2: the Store facade. Same layered structure, but goroutine-safe:
+	// operations lease confined handles internally, so there is no worker
+	// identity to manage — spawn as many goroutines as the workload needs.
+	st, err := layeredsg.NewStore[int64, string](layeredsg.Config{
+		Machine: machine,
+		Kind:    layeredsg.LazyLayeredSG,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sg sync.WaitGroup
+	for g := 0; g < 4*workers; g++ { // freely oversubscribed
+		sg.Add(1)
+		go func(g int) {
+			defer sg.Done()
+			key := int64(g)
+			st.Insert(key, fmt.Sprintf("req-%d", g))         // single op: one lease
+			st.Do(func(h *layeredsg.Handle[int64, string]) { // session: one lease, many ops
+				h.Get(key)
+				h.Contains(key - 1)
+			})
+		}(g)
+	}
+	sg.Wait()
+	fmt.Println("store keys:", st.Map().Len())
+	ls := st.LeaseStats()
+	fmt.Printf("store leases: %d acquired, %.0f%% on the preferred stripe\n",
+		ls.Acquires, 100*ls.HitRate)
 }

@@ -193,7 +193,8 @@ func (m *Map[K, V]) Kind() Kind { return m.cfg.Kind }
 func (m *Map[K, V]) Threads() int { return len(m.handles) }
 
 // Handle returns the per-thread handle for a logical thread. Handles are not
-// safe for concurrent use; each must be confined to one goroutine.
+// safe for concurrent use; see the Handle type for the exact confinement
+// contract.
 func (m *Map[K, V]) Handle(thread int) *Handle[K, V] { return m.handles[thread] }
 
 // Vector returns the membership vector assigned to a thread.
@@ -213,7 +214,20 @@ func (m *Map[K, V]) Keys() []K { return m.sg.BottomKeys() }
 func (m *Map[K, V]) SharedStructure() *skipgraph.SG[K, V] { return m.sg }
 
 // Handle is one thread's view of the layered map: the thread's local
-// structures plus scratch state. Not safe for concurrent use.
+// structures plus scratch state.
+//
+// # Confinement contract
+//
+// A Handle is never safe for concurrent use: its local structures are
+// sequential by design (that is where much of the technique's speed comes
+// from). The invariant the protocol actually needs, however, is *exclusive
+// ownership*, not goroutine identity: a Handle may migrate between
+// goroutines, as long as every span of use is exclusive and handoffs are
+// ordered by happens-before edges (a mutex, a channel send, ...). This is
+// what lets a leasing layer pool handles and serve them to short-lived
+// request goroutines. Layers that hand handles around should bracket each
+// span with BeginExclusive/EndExclusive so violations trip an assertion
+// instead of corrupting the local structures silently.
 type Handle[K cmp.Ordered, V any] struct {
 	m      *Map[K, V]
 	thread int
@@ -223,6 +237,31 @@ type Handle[K cmp.Ordered, V any] struct {
 	tr     *stats.ThreadRecorder
 	res    *skipgraph.SearchResult[K, V]
 	rng    *rand.Rand
+	// leased asserts the confinement contract at lease boundaries: 0 = free,
+	// 1 = exclusively owned. Checked only in BeginExclusive/EndExclusive so
+	// the per-operation fast paths stay untouched.
+	leased atomic.Int32
+}
+
+// BeginExclusive marks the handle as exclusively owned by the caller for a
+// span of operations. It panics if the handle is already owned — a
+// confinement violation that would otherwise corrupt the sequential local
+// structures silently. The CAS also publishes prior owners' writes to the
+// acquiring goroutine when callers pair it with an external happens-before
+// edge (as the Store facade's stripe locks do); it is an assertion, not a
+// lock, and must not be relied on for mutual exclusion on its own.
+func (h *Handle[K, V]) BeginExclusive() {
+	if !h.leased.CompareAndSwap(0, 1) {
+		panic(fmt.Sprintf("core: handle %d acquired while already exclusively owned (confinement violation)", h.thread))
+	}
+}
+
+// EndExclusive releases the exclusive ownership taken by BeginExclusive. It
+// panics if the handle is not currently owned (double release).
+func (h *Handle[K, V]) EndExclusive() {
+	if !h.leased.CompareAndSwap(1, 0) {
+		panic(fmt.Sprintf("core: handle %d released while not exclusively owned (double release)", h.thread))
+	}
 }
 
 // Thread returns the logical thread this handle belongs to.

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"layeredsg/internal/numa"
+)
+
+func exclusiveTestMap(t *testing.T) *Map[int64, int64] {
+	t.Helper()
+	topo, err := numa.New(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine, err := numa.Pin(topo, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New[int64, int64](Config{Machine: machine, Kind: LazyLayeredSG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBeginEndExclusive(t *testing.T) {
+	m := exclusiveTestMap(t)
+	h := m.Handle(0)
+	h.BeginExclusive()
+	h.Insert(1, 1)
+	h.EndExclusive()
+	h.BeginExclusive() // reacquire after release is fine
+	h.EndExclusive()
+}
+
+func TestBeginExclusiveDoubleAcquirePanics(t *testing.T) {
+	m := exclusiveTestMap(t)
+	h := m.Handle(0)
+	h.BeginExclusive()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second BeginExclusive did not panic")
+		}
+	}()
+	h.BeginExclusive()
+}
+
+func TestEndExclusiveWithoutAcquirePanics(t *testing.T) {
+	m := exclusiveTestMap(t)
+	h := m.Handle(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EndExclusive without BeginExclusive did not panic")
+		}
+	}()
+	h.EndExclusive()
+}
+
+// TestExclusiveHandleMigration exercises the documented contract: a handle
+// may move between goroutines as long as spans are exclusive and ordered by
+// a happens-before edge (here a mutex). Run under -race this verifies the
+// handoff publishes the local structures correctly.
+func TestExclusiveHandleMigration(t *testing.T) {
+	m := exclusiveTestMap(t)
+	h := m.Handle(1)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	const goroutines = 8
+	const perG = 50
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				mu.Lock()
+				h.BeginExclusive()
+				k := int64(g*perG + i)
+				h.Insert(k, k)
+				if _, ok := h.Get(k); !ok {
+					t.Errorf("key %d missing right after insert", k)
+				}
+				h.EndExclusive()
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, want := m.Len(), goroutines*perG; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+}

@@ -45,6 +45,15 @@ type Adapter interface {
 	Close()
 }
 
+// Oversubscribable marks adapters whose Handle method accepts any worker
+// index — not just pinned logical threads — and returns handles safe to use
+// from arbitrary goroutines (e.g. the Store facade, which leases confined
+// handles internally). Only such adapters may run workloads with more
+// goroutines than machine threads.
+type Oversubscribable interface {
+	Oversubscribable() bool
+}
+
 // Workload describes one trial configuration.
 type Workload struct {
 	// KeySpace is the number of distinct keys (2^8 HC, 2^14 MC, 2^17 LC).
@@ -74,6 +83,12 @@ type Workload struct {
 	Distribution Distribution
 	// ZipfS is the Zipf skew exponent (> 1); 0 selects 1.2.
 	ZipfS float64
+	// Goroutines overrides the worker count; 0 runs the paper's setting of
+	// one worker per machine thread. A value above the thread count
+	// oversubscribes the adapter — request-serving style — and requires the
+	// adapter to implement Oversubscribable (confined per-thread handles
+	// cannot be shared between workers).
+	Goroutines int
 }
 
 // Distribution selects how workers draw keys.
@@ -119,13 +134,19 @@ func (w Workload) Validate() error {
 	if w.Distribution == Zipf && w.ZipfS != 0 && w.ZipfS <= 1 {
 		return fmt.Errorf("sbench: ZipfS must exceed 1, got %f", w.ZipfS)
 	}
+	if w.Goroutines < 0 {
+		return fmt.Errorf("sbench: Goroutines must be non-negative, got %d", w.Goroutines)
+	}
 	return nil
 }
 
 // Result is one trial's outcome.
 type Result struct {
-	Algorithm          string
-	Threads            int
+	Algorithm string
+	Threads   int
+	// Goroutines is the worker count actually run (= Threads unless the
+	// workload oversubscribed).
+	Goroutines         int
 	TotalOps           uint64
 	OpsPerMs           float64
 	EffectiveUpdatePct float64
@@ -153,13 +174,22 @@ func Preload(machine *numa.Machine, a Adapter, w Workload) error {
 }
 
 // Run executes one measured trial on an already-preloaded adapter: one
-// worker goroutine per machine thread, each applying the -f 1 operation mix
-// for the workload's duration.
+// worker goroutine per machine thread (or Workload.Goroutines workers, when
+// set), each applying the -f 1 operation mix for the workload's duration.
 func Run(machine *numa.Machine, a Adapter, w Workload) (Result, error) {
 	if err := w.Validate(); err != nil {
 		return Result{}, err
 	}
 	threads := machine.Threads()
+	workers := threads
+	if w.Goroutines > 0 {
+		workers = w.Goroutines
+	}
+	if workers > threads {
+		if o, ok := a.(Oversubscribable); !ok || !o.Oversubscribable() {
+			return Result{}, fmt.Errorf("sbench: %d workers exceed %d machine threads, but adapter %q is not oversubscribable", workers, threads, a.Name())
+		}
+	}
 	var (
 		stop      atomic.Bool
 		totalOps  atomic.Uint64
@@ -167,7 +197,7 @@ func Run(machine *numa.Machine, a Adapter, w Workload) (Result, error) {
 		wg        sync.WaitGroup
 		startGate = make(chan struct{})
 	)
-	for t := 0; t < threads; t++ {
+	for t := 0; t < workers; t++ {
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
@@ -223,11 +253,12 @@ func Run(machine *numa.Machine, a Adapter, w Workload) (Result, error) {
 
 	ops := totalOps.Load()
 	res := Result{
-		Algorithm: a.Name(),
-		Threads:   threads,
-		TotalOps:  ops,
-		OpsPerMs:  float64(ops) / float64(elapsed.Milliseconds()),
-		Elapsed:   elapsed,
+		Algorithm:  a.Name(),
+		Threads:    threads,
+		Goroutines: workers,
+		TotalOps:   ops,
+		OpsPerMs:   float64(ops) / float64(elapsed.Milliseconds()),
+		Elapsed:    elapsed,
 	}
 	if ops > 0 {
 		res.EffectiveUpdatePct = 100 * float64(effective.Load()) / float64(ops)
@@ -264,6 +295,7 @@ func Average(machine *numa.Machine, build func() (Adapter, error), w Workload, r
 		}
 		sum.Algorithm = res.Algorithm
 		sum.Threads = res.Threads
+		sum.Goroutines = res.Goroutines
 		sum.TotalOps += res.TotalOps
 		sum.OpsPerMs += res.OpsPerMs
 		sum.EffectiveUpdatePct += res.EffectiveUpdatePct

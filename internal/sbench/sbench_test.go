@@ -207,3 +207,48 @@ func TestZipfTrial(t *testing.T) {
 		t.Fatal("no ops under zipf workload")
 	}
 }
+
+// oversubAdapter wraps mapAdapter with the Oversubscribable marker: its
+// handles are mutex-protected, so any worker index is safe.
+type oversubAdapter struct{ *mapAdapter }
+
+func (a *oversubAdapter) Oversubscribable() bool { return true }
+
+func TestOversubscription(t *testing.T) {
+	m := machine(t, 2)
+	w := wl()
+	w.Goroutines = 8 // 4× the machine's threads
+
+	// A confined adapter must reject goroutines > threads.
+	if _, err := Trial(m, newMapAdapter(), w); err == nil {
+		t.Fatal("confined adapter accepted oversubscription")
+	}
+
+	// An oversubscribable adapter runs all 8 workers.
+	res, err := Trial(m, &oversubAdapter{newMapAdapter()}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Goroutines != 8 || res.Threads != 2 {
+		t.Fatalf("goroutines/threads = %d/%d, want 8/2", res.Goroutines, res.Threads)
+	}
+	if res.TotalOps == 0 {
+		t.Fatal("no ops under oversubscription")
+	}
+
+	// Goroutines below the thread count just runs fewer workers.
+	w.Goroutines = 1
+	res, err = Trial(m, newMapAdapter(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Goroutines != 1 {
+		t.Fatalf("goroutines = %d, want 1", res.Goroutines)
+	}
+
+	// Negative worker counts are rejected by Validate.
+	w.Goroutines = -1
+	if err := w.Validate(); err == nil {
+		t.Fatal("negative Goroutines accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package stats
+
+import "sync/atomic"
+
+// LeaseRecorder tracks how handle leases are acquired across the stripes of
+// a leasing layer (the Store facade): per stripe, how many acquisitions hit
+// the acquirer's preferred stripe on the fast path, how many migrated to a
+// different free stripe, and how many had to block because every stripe was
+// busy. Unlike ThreadRecorder, which is strictly thread-confined, these
+// counters are written from arbitrary goroutines and are therefore atomic;
+// each stripe's counters sit on their own cache line so contended stripes do
+// not false-share. A nil *LeaseRecorder disables recording.
+type LeaseRecorder struct {
+	stripes []stripeLease
+}
+
+// stripeLease holds one stripe's counters, padded to a cache line.
+type stripeLease struct {
+	hits       atomic.Uint64
+	migrations atomic.Uint64
+	blocks     atomic.Uint64
+	_          [40]byte //nolint:unused
+}
+
+// NewLeaseRecorder creates a recorder for a leasing layer with the given
+// stripe count.
+func NewLeaseRecorder(stripes int) *LeaseRecorder {
+	return &LeaseRecorder{stripes: make([]stripeLease, stripes)}
+}
+
+// Hit records a fast-path acquisition: the goroutine's preferred stripe was
+// free.
+func (lr *LeaseRecorder) Hit(stripe int) {
+	if lr == nil {
+		return
+	}
+	lr.stripes[stripe].hits.Add(1)
+}
+
+// Migrate records an acquisition that found the preferred stripe busy and
+// settled on a different free stripe.
+func (lr *LeaseRecorder) Migrate(stripe int) {
+	if lr == nil {
+		return
+	}
+	lr.stripes[stripe].migrations.Add(1)
+}
+
+// Block records an acquisition that found every stripe busy and blocked
+// until the preferred stripe freed up.
+func (lr *LeaseRecorder) Block(stripe int) {
+	if lr == nil {
+		return
+	}
+	lr.stripes[stripe].blocks.Add(1)
+}
+
+// StripeLeaseStats is one stripe's share of a LeaseSummary.
+type StripeLeaseStats struct {
+	// Hits counts fast-path acquisitions on the preferred stripe.
+	Hits uint64
+	// Migrations counts acquisitions that settled here after finding the
+	// acquirer's preferred stripe busy.
+	Migrations uint64
+	// Blocks counts acquisitions that blocked here with all stripes busy.
+	Blocks uint64
+}
+
+// Acquires is the stripe's total granted leases.
+func (s StripeLeaseStats) Acquires() uint64 {
+	return s.Hits + s.Migrations + s.Blocks
+}
+
+// LeaseSummary aggregates lease-contention counters over all stripes.
+type LeaseSummary struct {
+	// Acquires is the total number of leases granted.
+	Acquires uint64
+	// Hits, Migrations, and Blocks partition Acquires by acquisition path.
+	Hits, Migrations, Blocks uint64
+	// HitRate is Hits / Acquires (0 when no leases were granted). A high hit
+	// rate means goroutines kept reusing the stripe matching their placement
+	// hint — the leasing layer preserved the NUMA-affinity story.
+	HitRate float64
+	// PerStripe breaks the counters down by stripe, indexed by logical
+	// thread.
+	PerStripe []StripeLeaseStats
+}
+
+// Summary snapshots the counters. Safe to call while leases are in flight;
+// the per-counter loads are atomic but the snapshot as a whole is not.
+func (lr *LeaseRecorder) Summary() LeaseSummary {
+	var s LeaseSummary
+	if lr == nil {
+		return s
+	}
+	s.PerStripe = make([]StripeLeaseStats, len(lr.stripes))
+	for i := range lr.stripes {
+		st := StripeLeaseStats{
+			Hits:       lr.stripes[i].hits.Load(),
+			Migrations: lr.stripes[i].migrations.Load(),
+			Blocks:     lr.stripes[i].blocks.Load(),
+		}
+		s.PerStripe[i] = st
+		s.Hits += st.Hits
+		s.Migrations += st.Migrations
+		s.Blocks += st.Blocks
+	}
+	s.Acquires = s.Hits + s.Migrations + s.Blocks
+	if s.Acquires > 0 {
+		s.HitRate = float64(s.Hits) / float64(s.Acquires)
+	}
+	return s
+}

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLeaseRecorderSummary(t *testing.T) {
+	lr := NewLeaseRecorder(3)
+	lr.Hit(0)
+	lr.Hit(0)
+	lr.Migrate(1)
+	lr.Block(2)
+
+	s := lr.Summary()
+	if s.Acquires != 4 {
+		t.Fatalf("Acquires = %d, want 4", s.Acquires)
+	}
+	if s.Hits != 2 || s.Migrations != 1 || s.Blocks != 1 {
+		t.Fatalf("partition = %d/%d/%d, want 2/1/1", s.Hits, s.Migrations, s.Blocks)
+	}
+	if s.HitRate != 0.5 {
+		t.Fatalf("HitRate = %f, want 0.5", s.HitRate)
+	}
+	if len(s.PerStripe) != 3 {
+		t.Fatalf("PerStripe len = %d, want 3", len(s.PerStripe))
+	}
+	if got := s.PerStripe[0].Acquires(); got != 2 {
+		t.Fatalf("stripe 0 acquires = %d, want 2", got)
+	}
+	if s.PerStripe[1].Migrations != 1 || s.PerStripe[2].Blocks != 1 {
+		t.Fatalf("per-stripe breakdown wrong: %+v", s.PerStripe)
+	}
+}
+
+func TestLeaseRecorderNil(t *testing.T) {
+	var lr *LeaseRecorder
+	lr.Hit(0) // must not panic
+	lr.Migrate(0)
+	lr.Block(0)
+	if s := lr.Summary(); s.Acquires != 0 || s.HitRate != 0 {
+		t.Fatalf("nil recorder summary = %+v, want zero", s)
+	}
+}
+
+func TestLeaseRecorderConcurrent(t *testing.T) {
+	const goroutines = 8
+	const perG = 1000
+	lr := NewLeaseRecorder(2)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				lr.Hit(g % 2)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := lr.Summary(); s.Hits != goroutines*perG {
+		t.Fatalf("Hits = %d, want %d", s.Hits, goroutines*perG)
+	}
+}

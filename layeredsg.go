@@ -20,6 +20,31 @@
 // sequential, which is where much of its speed comes from. Confine each
 // handle to one goroutine.
 //
+// # Goroutine-safe access: the Store facade
+//
+// When goroutines are created and destroyed freely (request serving), use
+// Store instead of managing handles: any goroutine may call it, and each
+// operation transparently leases one of the confined handles — exclusively,
+// preserving the confinement invariant — with acquisition biased so a
+// goroutine tends to reuse the handle matching its scheduler placement
+// (preserving the NUMA-locality story):
+//
+//	st, _ := layeredsg.NewStore[int64, string](layeredsg.Config{
+//		Machine: machine,
+//		Kind:    layeredsg.LazyLayeredSG,
+//	})
+//	st.Insert(42, "answer")          // any goroutine, any time
+//	v, ok := st.Get(42)
+//	st.Do(func(h *layeredsg.Handle[int64, string]) {
+//		h.Insert(1, "a")         // session: one lease, many ops
+//		h.Insert(2, "b")
+//	})
+//
+// Confined handles remain the fast path (no lease per operation); prefer
+// them when you control worker identity. Batch operations (InsertBatch,
+// GetBatch) and sessions (Do, Acquire) amortize one lease over many
+// operations; Store.LeaseStats exposes the lease layer's contention profile.
+//
 // Besides the layered variants the package exposes the paper's baselines
 // (lock-free and locked skip lists, the non-layered skip graph) and
 // reimplementations of the competing NUMA-aware designs (no-hotspot,

@@ -179,16 +179,8 @@ func TestRegistryCoversEveryPaperLabel(t *testing.T) {
 	}
 }
 
-func TestNewAdapterErrors(t *testing.T) {
-	machine := testMachine(t, 2)
-	if _, err := NewAdapter("bogus", machine, AdapterOptions{}); err == nil {
-		t.Fatal("unknown algorithm accepted")
-	}
-	// Skip-list height requires a key space.
-	if _, err := NewAdapter("skiplist", machine, AdapterOptions{KeySpace: 4}); err != nil {
-		t.Fatalf("tiny key space rejected: %v", err)
-	}
-}
+// NewAdapter's error paths (unknown labels, nil machines, KeySpace
+// validation) are covered table-driven in registry_test.go.
 
 func TestRunAverageAggregatesRuns(t *testing.T) {
 	machine := testMachine(t, 2)

@@ -42,6 +42,12 @@ type AdapterOptions struct {
 	CommissionPeriod time.Duration
 	// Seed makes structure-internal randomness deterministic.
 	Seed int64
+	// ViaStore drives the algorithm through the goroutine-safe Store facade
+	// instead of raw confined handles, so facade (lease) overhead shows up in
+	// the same trials. Supported for the layered variants only; the resulting
+	// adapter is oversubscribable (Workload.Goroutines may exceed the
+	// machine's threads).
+	ViaStore bool
 }
 
 type simpleAdapter struct {
@@ -67,14 +73,22 @@ type algoBuilder func(m *numa.Machine, o AdapterOptions) (Adapter, error)
 
 func layeredBuilder(kind core.Kind) algoBuilder {
 	return func(m *numa.Machine, o AdapterOptions) (Adapter, error) {
-		lm, err := core.New[int64, int64](core.Config{
+		cfg := core.Config{
 			Machine:          m,
 			Kind:             kind,
 			Scheme:           o.Scheme,
 			CommissionPeriod: o.CommissionPeriod,
 			Recorder:         o.Recorder,
 			Seed:             o.Seed,
-		})
+		}
+		if o.ViaStore {
+			st, err := NewStore[int64, int64](cfg)
+			if err != nil {
+				return nil, err
+			}
+			return &storeAdapter{name: kind.String() + "+store", st: st}, nil
+		}
+		lm, err := core.New[int64, int64](cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -86,8 +100,39 @@ func layeredBuilder(kind core.Kind) algoBuilder {
 	}
 }
 
+// storeAdapter drives a layered map through the Store facade: every worker
+// index maps to the same goroutine-safe Store, and each operation leases a
+// confined handle internally. It is oversubscribable — the harness may run
+// more worker goroutines than machine threads against it.
+type storeAdapter struct {
+	name string
+	st   *Store[int64, int64]
+}
+
+func (a *storeAdapter) Name() string                { return a.name }
+func (a *storeAdapter) Handle(int) sbench.OpHandle  { return storeOpHandle{a.st} }
+func (a *storeAdapter) Close()                      {}
+func (a *storeAdapter) Oversubscribable() bool      { return true }
+func (a *storeAdapter) Store() *Store[int64, int64] { return a.st }
+
+var _ sbench.Oversubscribable = (*storeAdapter)(nil)
+
+// storeOpHandle adapts Store's goroutine-safe operations to the per-worker
+// OpHandle interface.
+type storeOpHandle struct{ st *Store[int64, int64] }
+
+func (h storeOpHandle) Insert(key, value int64) bool { return h.st.Insert(key, value) }
+func (h storeOpHandle) Remove(key int64) bool        { return h.st.Remove(key) }
+func (h storeOpHandle) Contains(key int64) bool      { return h.st.Contains(key) }
+
 func directBuilder(shape direct.Shape) algoBuilder {
 	return func(m *numa.Machine, o AdapterOptions) (Adapter, error) {
+		if o.ViaStore {
+			return nil, fmt.Errorf("layeredsg: ViaStore is only supported for layered variants, not %q", shape.String())
+		}
+		if shape == direct.SkipList && o.KeySpace <= 0 {
+			return nil, fmt.Errorf("layeredsg: %q requires AdapterOptions.KeySpace > 0 (its height is log2 of the key space, per the paper), got %d", shape.String(), o.KeySpace)
+		}
 		dm, err := direct.New[int64, int64](direct.Config{
 			Machine:  m,
 			Shape:    shape,
@@ -109,6 +154,9 @@ func directBuilder(shape direct.Shape) algoBuilder {
 
 func competitorBuilder(alg competitors.Algorithm) algoBuilder {
 	return func(m *numa.Machine, o AdapterOptions) (Adapter, error) {
+		if o.ViaStore {
+			return nil, fmt.Errorf("layeredsg: ViaStore is only supported for layered variants, not %q", alg.String())
+		}
 		cm, err := competitors.New[int64, int64](competitors.Config{
 			Machine:   m,
 			Algorithm: alg,
@@ -128,6 +176,12 @@ func competitorBuilder(alg competitors.Algorithm) algoBuilder {
 
 func lockedBuilder() algoBuilder {
 	return func(m *numa.Machine, o AdapterOptions) (Adapter, error) {
+		if o.ViaStore {
+			return nil, fmt.Errorf("layeredsg: ViaStore is only supported for layered variants, not %q", "lockedskiplist")
+		}
+		if o.KeySpace <= 0 {
+			return nil, fmt.Errorf("layeredsg: %q requires AdapterOptions.KeySpace > 0 (its height is log2 of the key space, per the paper), got %d", "lockedskiplist", o.KeySpace)
+		}
 		lm, err := lockedskiplist.New[int64, int64](lockedskiplist.Config{
 			Machine:  m,
 			Height:   heightFor(o.KeySpace),
@@ -178,6 +232,9 @@ func NewAdapter(name string, machine *Machine, opts AdapterOptions) (Adapter, er
 	b, ok := builders[name]
 	if !ok {
 		return nil, fmt.Errorf("layeredsg: unknown algorithm %q (known: %v)", name, Algorithms())
+	}
+	if machine == nil {
+		return nil, fmt.Errorf("layeredsg: machine is required to build %q, got nil", name)
 	}
 	return b(machine, opts)
 }

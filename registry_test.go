@@ -1,0 +1,167 @@
+package layeredsg
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNewAdapterErrors covers the registry's error paths: unknown labels,
+// nil machines, the KeySpace requirement of the non-layered skip lists, and
+// ViaStore on algorithms without a Store facade.
+func TestNewAdapterErrors(t *testing.T) {
+	machine := testMachine(t, 4)
+	cases := []struct {
+		name    string
+		algo    string
+		machine *Machine
+		opts    AdapterOptions
+		wantErr string // substring of the error; "" means success
+	}{
+		{
+			name:    "unknown algorithm",
+			algo:    "no_such_algorithm",
+			machine: machine,
+			wantErr: `unknown algorithm "no_such_algorithm"`,
+		},
+		{
+			name:    "nil machine",
+			algo:    "lazy_layered_sg",
+			machine: nil,
+			wantErr: "machine is required",
+		},
+		{
+			name:    "skiplist without KeySpace",
+			algo:    "skiplist",
+			machine: machine,
+			wantErr: "requires AdapterOptions.KeySpace > 0",
+		},
+		{
+			name:    "skiplist with negative KeySpace",
+			algo:    "skiplist",
+			machine: machine,
+			opts:    AdapterOptions{KeySpace: -5},
+			wantErr: "requires AdapterOptions.KeySpace > 0",
+		},
+		{
+			name:    "lockedskiplist without KeySpace",
+			algo:    "lockedskiplist",
+			machine: machine,
+			wantErr: "requires AdapterOptions.KeySpace > 0",
+		},
+		{
+			name:    "skipgraph_nolayer without KeySpace is fine (height from threads)",
+			algo:    "skipgraph_nolayer",
+			machine: machine,
+		},
+		{
+			name:    "layered without KeySpace is fine",
+			algo:    "lazy_layered_sg",
+			machine: machine,
+		},
+		{
+			name:    "skiplist with KeySpace",
+			algo:    "skiplist",
+			machine: machine,
+			opts:    AdapterOptions{KeySpace: 1 << 10},
+		},
+		{
+			name:    "lockedskiplist with KeySpace",
+			algo:    "lockedskiplist",
+			machine: machine,
+			opts:    AdapterOptions{KeySpace: 1 << 10},
+		},
+		{
+			name:    "ViaStore on a layered variant",
+			algo:    "lazy_layered_sg",
+			machine: machine,
+			opts:    AdapterOptions{ViaStore: true},
+		},
+		{
+			name:    "ViaStore on skiplist",
+			algo:    "skiplist",
+			machine: machine,
+			opts:    AdapterOptions{KeySpace: 1 << 10, ViaStore: true},
+			wantErr: "ViaStore is only supported for layered variants",
+		},
+		{
+			name:    "ViaStore on lockedskiplist",
+			algo:    "lockedskiplist",
+			machine: machine,
+			opts:    AdapterOptions{KeySpace: 1 << 10, ViaStore: true},
+			wantErr: "ViaStore is only supported for layered variants",
+		},
+		{
+			name:    "ViaStore on a competitor",
+			algo:    "nohotspot",
+			machine: machine,
+			opts:    AdapterOptions{ViaStore: true},
+			wantErr: "ViaStore is only supported for layered variants",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, err := NewAdapter(tc.algo, tc.machine, tc.opts)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("NewAdapter(%q) = %v, want success", tc.algo, err)
+				}
+				a.Close()
+				return
+			}
+			if err == nil {
+				a.Close()
+				t.Fatalf("NewAdapter(%q) succeeded, want error containing %q", tc.algo, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("NewAdapter(%q) error = %q, want substring %q", tc.algo, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestViaStoreAdapter checks the store-backed adapter end to end: it is
+// oversubscribable, a trial with goroutines ≫ threads runs, and a confined
+// adapter rejects the same oversubscription.
+func TestViaStoreAdapter(t *testing.T) {
+	machine := testMachine(t, 4)
+	w := Workload{
+		KeySpace:        1 << 10,
+		UpdateRatio:     0.5,
+		Duration:        30 * time.Millisecond,
+		PreloadFraction: 0.2,
+		Seed:            42,
+		YieldEvery:      1,
+		Goroutines:      16, // 4× the pinned threads
+	}
+
+	a, err := NewAdapter("lazy_layered_sg", machine, AdapterOptions{ViaStore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if got, want := a.Name(), "lazy_layered_sg+store"; got != want {
+		t.Fatalf("adapter name = %q, want %q", got, want)
+	}
+	res, err := RunTrial(machine, a, w)
+	if err != nil {
+		t.Fatalf("oversubscribed store trial: %v", err)
+	}
+	if res.Goroutines != 16 || res.Threads != 4 {
+		t.Fatalf("result goroutines/threads = %d/%d, want 16/4", res.Goroutines, res.Threads)
+	}
+	if res.TotalOps == 0 {
+		t.Fatal("trial performed no operations")
+	}
+
+	raw, err := NewAdapter("lazy_layered_sg", machine, AdapterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := RunTrial(machine, raw, w); err == nil {
+		t.Fatal("confined adapter accepted goroutines > threads")
+	} else if !strings.Contains(err.Error(), "not oversubscribable") {
+		t.Fatalf("unexpected oversubscription error: %v", err)
+	}
+}

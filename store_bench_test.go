@@ -1,0 +1,107 @@
+// Benchmarks for the Store facade: the cost of handle leasing relative to
+// raw confined handles, on the paper's MC-WH workload (the Fig. 3 setting).
+// The sub-benchmark pair makes the overhead ratio directly comparable:
+//
+//	go test -bench=StoreOverhead -benchtime=3x
+//
+// See EXPERIMENTS.md ("Store facade overhead") for a recorded run.
+package layeredsg
+
+import (
+	"testing"
+
+	"layeredsg/internal/experiments"
+	"layeredsg/internal/sbench"
+)
+
+// benchStoreTrial runs MC-WH trials of lazy_layered_sg and reports ops/ms,
+// either through raw confined handles or through the Store facade. Both
+// modes run one worker per machine thread so the ratio isolates pure facade
+// overhead (lease acquisition + release per operation); oversubscription is
+// exercised separately by the goroutines sub-benchmark.
+func benchStoreTrial(b *testing.B, viaStore bool, goroutines int) {
+	machine := benchMachine(b, benchThreads)
+	w := benchWorkload(experiments.MC, experiments.WH)
+	w.Goroutines = goroutines
+	var opsPerMs float64
+	for i := 0; i < b.N; i++ {
+		a, err := NewAdapter("lazy_layered_sg", machine, AdapterOptions{
+			Seed:     int64(i),
+			ViaStore: viaStore,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sbench.Trial(machine, a, w)
+		a.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		opsPerMs += res.OpsPerMs
+	}
+	b.ReportMetric(opsPerMs/float64(b.N), "ops/ms")
+}
+
+// BenchmarkStoreOverhead compares leased (Store) against confined (raw
+// Handle) throughput on MC-WH. The acceptance bar is the leased facade
+// staying within 2× of raw handles.
+func BenchmarkStoreOverhead(b *testing.B) {
+	b.Run("handle", func(b *testing.B) { benchStoreTrial(b, false, 0) })
+	b.Run("store", func(b *testing.B) { benchStoreTrial(b, true, 0) })
+	// 4× oversubscription: the facade's reason to exist — confined handles
+	// cannot run this shape at all.
+	b.Run("store-4x-goroutines", func(b *testing.B) { benchStoreTrial(b, true, 4*benchThreads) })
+}
+
+// BenchmarkStoreMicro measures the facade's per-operation cost without the
+// trial harness: single-goroutine Get/Insert through the Store (lease per
+// op), a leased session (lease amortized), and the raw handle baseline.
+func BenchmarkStoreMicro(b *testing.B) {
+	const keySpace = 1 << 14
+	build := func(b *testing.B) *Store[int64, int64] {
+		b.Helper()
+		st, err := NewStore[int64, int64](Config{Machine: benchMachine(b, benchThreads), Kind: LazyLayeredSG})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for k := int64(0); k < keySpace; k += 4 {
+			st.Insert(k, k)
+		}
+		return st
+	}
+	b.Run("store-get", func(b *testing.B) {
+		st := build(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st.Get(int64(i) % keySpace)
+		}
+	})
+	b.Run("session-get", func(b *testing.B) {
+		st := build(b)
+		b.ResetTimer()
+		st.Do(func(h *Handle[int64, int64]) {
+			for i := 0; i < b.N; i++ {
+				h.Get(int64(i) % keySpace)
+			}
+		})
+	})
+	b.Run("handle-get", func(b *testing.B) {
+		st := build(b)
+		h := st.Map().Handle(0) // baseline: bypass leasing entirely
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Get(int64(i) % keySpace)
+		}
+	})
+	b.Run("store-get-parallel", func(b *testing.B) {
+		st := build(b)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := int64(0)
+			for pb.Next() {
+				st.Get(i % keySpace)
+				i++
+			}
+		})
+	})
+}
