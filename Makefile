@@ -6,10 +6,14 @@
 #                   the root package (Store facade leasing), and
 #                   internal/sbench (oversubscribed trials)
 #   make bench    — the Store-overhead benchmark pair (see EXPERIMENTS.md)
+#   make fuzz-smoke — 30s of coverage-guided fuzzing per fuzz target (the
+#                   go tool accepts one -fuzz pattern per run, hence two
+#                   invocations); seed-corpus replay is part of plain `test`
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: ci build test vet race bench fmt
+.PHONY: ci build test vet race bench fuzz-smoke fmt
 
 ci: build test vet race
 
@@ -27,6 +31,10 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench 'Store' -benchtime 3x .
+
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzSkipGraphOps$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzStoreOps$$' -fuzztime $(FUZZTIME) .
 
 fmt:
 	gofmt -l .

@@ -15,12 +15,21 @@
 // style):
 //
 //	sgbench -algo lazy_layered_sg -threads 16 -via-store -goroutines 64
+//
+// The observability layer attaches with -observe (prints per-op metrics —
+// latency percentiles, jump origins, CAS retries — after the run) and
+// -debug-addr, which additionally serves /debug/pprof, /debug/vars,
+// /debug/obs, and /debug/trace over HTTP for the run's duration:
+//
+//	sgbench -algo lazy_layered_sg -duration 30s -debug-addr localhost:6060
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -38,22 +47,24 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("sgbench", flag.ContinueOnError)
 	var (
-		algo     = fs.String("algo", "lazy_layered_sg", "algorithm label")
-		list     = fs.Bool("list", false, "list algorithms and exit")
-		threads  = fs.Int("threads", 8, "worker threads")
-		keySpace = fs.Int64("keyspace", 1<<14, "distinct keys")
-		update   = fs.Float64("update", 0.5, "requested update ratio")
-		duration = fs.Duration("duration", time.Second, "measured duration per run")
-		runs     = fs.Int("runs", 1, "runs to average")
-		preload  = fs.Float64("preload", 0.2, "preload fraction of the key space")
-		seed     = fs.Int64("seed", 42, "random seed")
-		pin      = fs.Bool("pin", false, "LockOSThread for workers")
-		yield    = fs.Int("yield", 1, "Gosched every N ops (0 disables)")
-		sockets  = fs.Int("sockets", 2, "simulated sockets")
-		cores    = fs.Int("cores", 24, "cores per socket")
-		smt      = fs.Int("smt", 2, "hardware threads per core")
-		viaStore = fs.Bool("via-store", false, "drive the goroutine-safe Store facade instead of raw handles (layered variants only)")
-		workers  = fs.Int("goroutines", 0, "worker goroutines (0 = one per thread; >threads requires -via-store)")
+		algo      = fs.String("algo", "lazy_layered_sg", "algorithm label")
+		list      = fs.Bool("list", false, "list algorithms and exit")
+		threads   = fs.Int("threads", 8, "worker threads")
+		keySpace  = fs.Int64("keyspace", 1<<14, "distinct keys")
+		update    = fs.Float64("update", 0.5, "requested update ratio")
+		duration  = fs.Duration("duration", time.Second, "measured duration per run")
+		runs      = fs.Int("runs", 1, "runs to average")
+		preload   = fs.Float64("preload", 0.2, "preload fraction of the key space")
+		seed      = fs.Int64("seed", 42, "random seed")
+		pin       = fs.Bool("pin", false, "LockOSThread for workers")
+		yield     = fs.Int("yield", 1, "Gosched every N ops (0 disables)")
+		sockets   = fs.Int("sockets", 2, "simulated sockets")
+		cores     = fs.Int("cores", 24, "cores per socket")
+		smt       = fs.Int("smt", 2, "hardware threads per core")
+		viaStore  = fs.Bool("via-store", false, "drive the goroutine-safe Store facade instead of raw handles (layered variants only)")
+		workers   = fs.Int("goroutines", 0, "worker goroutines (0 = one per thread; >threads requires -via-store)")
+		observe   = fs.Bool("observe", false, "attach the observability layer (event tracing + metrics; layered variants only) and print its snapshot")
+		debugAddr = fs.String("debug-addr", "", "serve /debug/pprof, /debug/vars, /debug/obs, /debug/trace on this address (implies -observe)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,10 +93,29 @@ func run(args []string, w io.Writer) error {
 		YieldEvery:      *yield,
 		Goroutines:      *workers,
 	}
+	var tracer *layeredsg.Tracer
+	if *observe || *debugAddr != "" {
+		tracer = layeredsg.NewTracer(layeredsg.TracerConfig{Name: *algo})
+		defer tracer.Close()
+		layeredsg.SetObservability(true)
+		defer layeredsg.SetObservability(false)
+	}
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		srv := &http.Server{Handler: layeredsg.DebugMux(tracer)}
+		go srv.Serve(ln) //nolint:errcheck // closed with the listener on exit
+		defer srv.Close()
+		fmt.Fprintf(w, "debug server:       http://%s/debug/\n", ln.Addr())
+	}
 	res, err := layeredsg.RunAverage(machine, *algo, layeredsg.AdapterOptions{
 		KeySpace: *keySpace,
 		Seed:     *seed,
 		ViaStore: *viaStore,
+		Observe:  tracer,
 	}, wl, *runs)
 	if err != nil {
 		return err
@@ -98,5 +128,11 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "throughput:         %.0f ops/ms\n", res.OpsPerMs)
 	fmt.Fprintf(w, "total operations:   %d (%d runs)\n", res.TotalOps, *runs)
 	fmt.Fprintf(w, "effective updates:  %.1f%% (requested %.0f%%)\n", res.EffectiveUpdatePct, *update*100)
+	if tracer != nil {
+		fmt.Fprintln(w)
+		if err := tracer.Snapshot().WriteText(w); err != nil {
+			return err
+		}
+	}
 	return nil
 }

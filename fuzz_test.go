@@ -1,0 +1,292 @@
+package layeredsg
+
+import (
+	"sort"
+	"testing"
+
+	"layeredsg/internal/core"
+)
+
+// The fuzz targets replay byte-encoded operation sequences against a model
+// map and then check the shared structure's invariants (skipgraph.Validate).
+// Sequences run sequentially, so every result must match the model exactly —
+// weak consistency never shows without concurrency — and the structure is
+// quiescent when validated.
+//
+// Encoding: each operation consumes two bytes, (selector, key). The selector
+// picks the operation; the key is folded into a small space so sequences
+// collide, revive, and retire aggressively. A deterministic injected clock
+// with a tiny commission period makes the lazy variants exercise deferral,
+// retirement, and revival within a few dozen operations.
+
+// fuzzKinds are the variants each sequence replays against: the three main
+// structures plus both degenerate shapes.
+var fuzzKinds = []core.Kind{
+	core.LayeredSG,
+	core.LazyLayeredSG,
+	core.LayeredSSG,
+	core.LazyLayeredSSG,
+	core.LayeredLL,
+	core.LayeredSL,
+}
+
+const fuzzKeySpace = 64
+
+func fuzzMachine(t testing.TB) *Machine {
+	t.Helper()
+	topo, err := NewTopology(2, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine, err := Pin(topo, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return machine
+}
+
+// fuzzConfig builds a deterministic config: the injected clock advances 50ns
+// per reading, so a 500ns commission period expires after ~10 clocked
+// operations — fast enough for retirement and revival to occur mid-sequence.
+func fuzzConfig(machine *Machine, kind core.Kind) Config {
+	var now int64
+	return Config{
+		Machine:          machine,
+		Kind:             kind,
+		Seed:             1,
+		CommissionPeriod: 500,
+		Clock: func() int64 {
+			now += 50
+			return now
+		},
+	}
+}
+
+// checkModel compares the map's logical contents against the model: size,
+// exact key set, and structural invariants.
+func checkModel(t *testing.T, kind core.Kind, m *Map[int64, int64], model map[int64]int64) {
+	t.Helper()
+	if got, want := m.Len(), len(model); got != want {
+		t.Fatalf("%v: Len() = %d, model has %d keys", kind, got, want)
+	}
+	want := make([]int64, 0, len(model))
+	for k := range model {
+		want = append(want, k)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	got := m.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("%v: Keys() = %v, want %v", kind, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%v: Keys() = %v, want %v", kind, got, want)
+		}
+	}
+	if err := m.SharedStructure().Validate(); err != nil {
+		t.Fatalf("%v: %v", kind, err)
+	}
+}
+
+func FuzzSkipGraphOps(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 3, 1, 2, 1, 3, 1, 0, 1, 3, 1})
+	f.Add([]byte{0, 10, 0, 20, 0, 30, 4, 0, 2, 20, 4, 0, 0, 20, 5, 0})
+	f.Add([]byte{0, 5, 2, 5, 0, 5, 2, 5, 0, 5, 3, 5, 6, 0, 7, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, kind := range fuzzKinds {
+			replayHandleOps(t, kind, data)
+		}
+	})
+}
+
+// replayHandleOps drives confined handles directly, rotating between threads
+// (sequential handoffs are legal under the confinement contract) so local
+// structures on several stripes fill up and searches jump between them.
+func replayHandleOps(t *testing.T, kind core.Kind, data []byte) {
+	machine := fuzzMachine(t)
+	m, err := New[int64, int64](fuzzConfig(machine, kind))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[int64]int64{}
+	thread := 0
+	h := m.Handle(0)
+	for i := 0; i+1 < len(data); i += 2 {
+		sel, kb := data[i], data[i+1]
+		key := int64(kb) % fuzzKeySpace
+		_, present := model[key]
+		switch sel % 8 {
+		case 0, 1:
+			if got := h.Insert(key, key); got != !present {
+				t.Fatalf("%v op %d: Insert(%d) = %v with present=%v", kind, i/2, key, got, present)
+			}
+			model[key] = key
+		case 2:
+			if got := h.Remove(key); got != present {
+				t.Fatalf("%v op %d: Remove(%d) = %v with present=%v", kind, i/2, key, got, present)
+			}
+			delete(model, key)
+		case 3:
+			v, ok := h.Get(key)
+			if ok != present || (ok && v != key) {
+				t.Fatalf("%v op %d: Get(%d) = (%d, %v) with present=%v", kind, i/2, key, v, ok, present)
+			}
+		case 4:
+			if got := h.Contains(key); got != present {
+				t.Fatalf("%v op %d: Contains(%d) = %v with present=%v", kind, i/2, key, got, present)
+			}
+		case 5:
+			// Range count over [key, key+16]: exact in a sequential history.
+			hi := key + 16
+			want := 0
+			for k := range model {
+				if k >= key && k <= hi {
+					want++
+				}
+			}
+			if got := h.Count(key, hi); got != want {
+				t.Fatalf("%v op %d: Count(%d, %d) = %d, want %d", kind, i/2, key, hi, got, want)
+			}
+		case 6:
+			// Ascend from key must visit the model's tail set in exact order.
+			var got []int64
+			h.Ascend(key, func(k, v int64) bool {
+				if v != k {
+					t.Fatalf("%v op %d: Ascend saw value %d under key %d", kind, i/2, v, k)
+				}
+				got = append(got, k)
+				return true
+			})
+			var want []int64
+			for k := range model {
+				if k >= key {
+					want = append(want, k)
+				}
+			}
+			sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+			if len(got) != len(want) {
+				t.Fatalf("%v op %d: Ascend(%d) = %v, want %v", kind, i/2, key, got, want)
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("%v op %d: Ascend(%d) = %v, want %v", kind, i/2, key, got, want)
+				}
+			}
+		case 7:
+			// Rotate to the next confined handle (sequential handoff).
+			thread = (thread + 1) % m.Threads()
+			h = m.Handle(thread)
+		}
+	}
+	checkModel(t, kind, m, model)
+}
+
+func FuzzStoreOps(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 3, 1, 2, 1, 5, 9, 6, 3, 7, 3})
+	f.Add([]byte{0, 4, 0, 5, 0, 6, 4, 4, 2, 5, 4, 0, 5, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, kind := range fuzzKinds {
+			replayStoreOps(t, kind, data)
+		}
+	})
+}
+
+// replayStoreOps drives the goroutine-safe Store facade — leases, sessions,
+// batches, and range scans — against the same model.
+func replayStoreOps(t *testing.T, kind core.Kind, data []byte) {
+	machine := fuzzMachine(t)
+	st, err := NewStore[int64, int64](fuzzConfig(machine, kind))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[int64]int64{}
+	for i := 0; i+1 < len(data); i += 2 {
+		sel, kb := data[i], data[i+1]
+		key := int64(kb) % fuzzKeySpace
+		_, present := model[key]
+		switch sel % 8 {
+		case 0, 1:
+			if got := st.Insert(key, key); got != !present {
+				t.Fatalf("%v op %d: Insert(%d) = %v with present=%v", kind, i/2, key, got, present)
+			}
+			model[key] = key
+		case 2:
+			if got := st.Remove(key); got != present {
+				t.Fatalf("%v op %d: Remove(%d) = %v with present=%v", kind, i/2, key, got, present)
+			}
+			delete(model, key)
+		case 3:
+			v, ok := st.Get(key)
+			if ok != present || (ok && v != key) {
+				t.Fatalf("%v op %d: Get(%d) = (%d, %v) with present=%v", kind, i/2, key, v, ok, present)
+			}
+		case 4:
+			// RangeScan over [key, key+16] must match the model exactly.
+			hi := key + 16
+			var got []int64
+			st.RangeScan(key, hi, func(k, v int64) bool {
+				got = append(got, k)
+				return true
+			})
+			var want []int64
+			for k := range model {
+				if k >= key && k <= hi {
+					want = append(want, k)
+				}
+			}
+			sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+			if len(got) != len(want) {
+				t.Fatalf("%v op %d: RangeScan(%d, %d) = %v, want %v", kind, i/2, key, hi, got, want)
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("%v op %d: RangeScan(%d, %d) = %v, want %v", kind, i/2, key, hi, got, want)
+				}
+			}
+		case 5:
+			// A Do session: three dependent operations under one lease.
+			st.Do(func(h *Handle[int64, int64]) {
+				ins := h.Insert(key, key)
+				if ins == present {
+					t.Fatalf("%v op %d: session Insert(%d) = %v with present=%v", kind, i/2, key, ins, present)
+				}
+				if v, ok := h.Get(key); !ok || v != key {
+					t.Fatalf("%v op %d: session Get(%d) = (%d, %v) after insert", kind, i/2, key, v, ok)
+				}
+				if !h.Remove(key) {
+					t.Fatalf("%v op %d: session Remove(%d) failed after insert", kind, i/2, key)
+				}
+			})
+			delete(model, key)
+		case 6:
+			// InsertBatch of key..key+2.
+			keys := []int64{key, key + 1, key + 2}
+			vals := []int64{key, key + 1, key + 2}
+			want := 0
+			for _, k := range keys {
+				if _, ok := model[k]; !ok {
+					want++
+				}
+				model[k] = k
+			}
+			n, err := st.InsertBatch(keys, vals)
+			if err != nil {
+				t.Fatalf("%v op %d: InsertBatch: %v", kind, i/2, err)
+			}
+			if n != want {
+				t.Fatalf("%v op %d: InsertBatch inserted %d, want %d", kind, i/2, n, want)
+			}
+		case 7:
+			// GetBatch of key..key+2.
+			keys := []int64{key, key + 1, key + 2}
+			vals, found := st.GetBatch(keys)
+			for j, k := range keys {
+				_, p := model[k]
+				if found[j] != p || (found[j] && vals[j] != k) {
+					t.Fatalf("%v op %d: GetBatch[%d] = (%d, %v) with present=%v", kind, i/2, k, vals[j], found[j], p)
+				}
+			}
+		}
+	}
+	checkModel(t, kind, st.Map(), model)
+}

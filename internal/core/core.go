@@ -20,6 +20,7 @@ package core
 import (
 	"cmp"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync/atomic"
 	"time"
@@ -28,6 +29,7 @@ import (
 	"layeredsg/internal/membership"
 	"layeredsg/internal/node"
 	"layeredsg/internal/numa"
+	"layeredsg/internal/obs"
 	"layeredsg/internal/skipgraph"
 	"layeredsg/internal/stats"
 )
@@ -97,6 +99,13 @@ type Config struct {
 	CommissionPeriod time.Duration
 	// Recorder, when non-nil, enables the paper's instrumentation.
 	Recorder *stats.Recorder
+	// Tracer, when non-nil, attaches the observability layer: per-stripe
+	// event rings and aggregated per-operation metrics (internal/obs). The
+	// layer stays dormant — allocation-free per operation — until the
+	// package-level obs.Enabled flag is flipped on. Tracing derives per-op
+	// counter deltas from the recorder, so setting Tracer without Recorder
+	// creates a recorder implicitly.
+	Tracer *obs.Tracer
 	// Clock overrides the structure clock (tests); nil uses real time.
 	Clock func() int64
 	// Seed seeds the per-thread RNGs drawing sparse node heights.
@@ -160,6 +169,13 @@ func New[K cmp.Ordered, V any](cfg Config) (*Map[K, V], error) {
 		return nil, err
 	}
 
+	if cfg.Tracer != nil {
+		cfg.Tracer.Attach(threads, maxLevel+1)
+		if cfg.Recorder == nil {
+			cfg.Recorder = stats.NewRecorder(cfg.Machine, nil)
+		}
+	}
+
 	m := &Map[K, V]{
 		cfg:     cfg,
 		sg:      sg,
@@ -179,6 +195,7 @@ func New[K cmp.Ordered, V any](cfg Config) (*Map[K, V], error) {
 			owner:  node.Owner{Thread: int32(t), Node: int32(cfg.Machine.NodeOf(t))},
 			ls:     local.New[K, V](),
 			tr:     tr,
+			ot:     cfg.Tracer.Stripe(t),
 			res:    sg.NewSearchResult(),
 			rng:    rand.New(rand.NewSource(cfg.Seed + int64(t)*0x5851F42D4C957F2D + 1)),
 		}
@@ -235,6 +252,7 @@ type Handle[K cmp.Ordered, V any] struct {
 	owner  node.Owner
 	ls     *local.Structure[K, V]
 	tr     *stats.ThreadRecorder
+	ot     *obs.StripeTracer
 	res    *skipgraph.SearchResult[K, V]
 	rng    *rand.Rand
 	// leased asserts the confinement contract at lease boundaries: 0 = free,
@@ -350,6 +368,13 @@ func (h *Handle[K, V]) updateStartFrom(it local.Iterator[K, V]) *node.Node[K, V]
 // allocation because the revival linearizes on a single valid-bit CAS.
 func (h *Handle[K, V]) Insert(key K, value V) bool {
 	defer h.tr.Op()
+	h.ot.Begin(obs.OpInsert, h.tr)
+	ok := h.insert(key, value)
+	h.traceEnd(key, ok)
+	return ok
+}
+
+func (h *Handle[K, V]) insert(key K, value V) bool {
 	if n, ok := h.ls.HashFind(key); ok {
 		done, inserted := h.m.sg.InsertHelper(n, h.tr)
 		if done {
@@ -364,6 +389,7 @@ func (h *Handle[K, V]) Insert(key K, value V) bool {
 func (h *Handle[K, V]) lazyInsert(key K, value V) bool {
 	it := h.getStart(key)
 	start := h.nodeOf(it)
+	h.traceOrigin(start)
 	var toInsert *node.Node[K, V]
 	for {
 		if h.m.sg.LazyRelinkSearch(key, start, h.vector, h.res, h.tr) {
@@ -428,6 +454,13 @@ func (h *Handle[K, V]) adopt(key K, n *node.Node[K, V]) {
 // Remove deletes key, returning false if it was not present.
 func (h *Handle[K, V]) Remove(key K) bool {
 	defer h.tr.Op()
+	h.ot.Begin(obs.OpRemove, h.tr)
+	ok := h.remove(key)
+	h.traceEnd(key, ok)
+	return ok
+}
+
+func (h *Handle[K, V]) remove(key K) bool {
 	if n, ok := h.ls.HashFind(key); ok {
 		done, removed := h.m.sg.RemoveHelper(n, h.tr)
 		if done {
@@ -448,6 +481,7 @@ func (h *Handle[K, V]) Remove(key K) bool {
 func (h *Handle[K, V]) lazyRemove(key K) bool {
 	it := h.getStart(key)
 	start := h.nodeOf(it)
+	h.traceOrigin(start)
 	for {
 		found, ok := h.m.sg.RetireSearch(key, start, h.vector, h.tr)
 		if !ok {
@@ -471,6 +505,13 @@ func (h *Handle[K, V]) Contains(key K) bool {
 // (Algs. 6–7) extended to return the node's value.
 func (h *Handle[K, V]) Get(key K) (V, bool) {
 	defer h.tr.Op()
+	h.ot.Begin(obs.OpGet, h.tr)
+	v, ok := h.get(key)
+	h.traceEnd(key, ok)
+	return v, ok
+}
+
+func (h *Handle[K, V]) get(key K) (V, bool) {
 	var zero V
 	if n, ok := h.ls.HashFind(key); ok {
 		if !n.Marked(0, h.tr) {
@@ -485,7 +526,9 @@ func (h *Handle[K, V]) Get(key K) (V, bool) {
 		h.ls.Erase(key) // Marked; prune and search globally.
 	}
 	it := h.getStart(key)
-	found, ok := h.m.sg.RetireSearch(key, h.nodeOf(it), h.vector, h.tr)
+	start := h.nodeOf(it)
+	h.traceOrigin(start)
+	found, ok := h.m.sg.RetireSearch(key, start, h.vector, h.tr)
 	if !ok {
 		return zero, false // Failed contains (C-ii).
 	}
@@ -494,4 +537,67 @@ func (h *Handle[K, V]) Get(key K) (V, bool) {
 		return found.Value(), true // Successful contains (C-iii-a).
 	}
 	return zero, false // Failed contains (C-iii-b).
+}
+
+// traceOrigin classifies where the slow path entered the shared structure:
+// seeded from a local-structure floor entry (the layered jump) or descending
+// from the head sentinel — the paper's locality distinction. Operations that
+// never reach a slow path keep Begin's OriginLocalHit default.
+func (h *Handle[K, V]) traceOrigin(start *node.Node[K, V]) {
+	if start != nil {
+		h.ot.SetOrigin(obs.OriginLocalJump)
+	} else {
+		h.ot.SetOrigin(obs.OriginHead)
+	}
+}
+
+// traceEnd closes the traced operation. The Active check keeps the disabled
+// path free of keyBits work.
+func (h *Handle[K, V]) traceEnd(key K, ok bool) {
+	if h.ot.Active() {
+		h.ot.End(h.tr, keyBits(key), ok)
+	}
+}
+
+// keyBits squeezes a key into an Event's 64-bit key field without allocating
+// (the pointer type switch avoids boxing): integer and float keys keep their
+// bit patterns, strings are FNV-1a hashed, anything else records 0.
+func keyBits[K cmp.Ordered](key K) uint64 {
+	switch k := any(&key).(type) {
+	case *int:
+		return uint64(*k)
+	case *int8:
+		return uint64(*k)
+	case *int16:
+		return uint64(*k)
+	case *int32:
+		return uint64(*k)
+	case *int64:
+		return uint64(*k)
+	case *uint:
+		return uint64(*k)
+	case *uint8:
+		return uint64(*k)
+	case *uint16:
+		return uint64(*k)
+	case *uint32:
+		return uint64(*k)
+	case *uint64:
+		return *k
+	case *uintptr:
+		return uint64(*k)
+	case *float32:
+		return uint64(math.Float32bits(*k))
+	case *float64:
+		return math.Float64bits(*k)
+	case *string:
+		h := uint64(14695981039346656037)
+		for i := 0; i < len(*k); i++ {
+			h ^= uint64((*k)[i])
+			h *= 1099511628211
+		}
+		return h
+	default:
+		return 0
+	}
 }

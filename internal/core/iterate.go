@@ -1,6 +1,9 @@
 package core
 
-import "layeredsg/internal/node"
+import (
+	"layeredsg/internal/node"
+	"layeredsg/internal/obs"
+)
 
 // Ascend visits logically present entries with key >= from, in ascending key
 // order, until fn returns false. The iteration is *weakly consistent*, as is
@@ -14,13 +17,18 @@ import "layeredsg/internal/node"
 // operation, then follows the level-0 list.
 func (h *Handle[K, V]) Ascend(from K, fn func(key K, value V) bool) {
 	h.tr.Op()
+	h.ot.Begin(obs.OpScan, h.tr)
+	defer h.traceEnd(from, true)
 	sg := h.m.sg
 	it := h.getStart(from)
 	// Only the bottom head fronts the level-0 list; upper-level head
 	// sentinels maintain just their own level's reference.
 	start := sg.BottomHead()
 	if n := h.nodeOf(it); n != nil {
+		h.ot.SetOrigin(obs.OriginLocalJump)
 		start = n
+	} else {
+		h.ot.SetOrigin(obs.OriginHead)
 	}
 	// Walk level 0 from the start to the first live node >= from, then
 	// onward. The local floor may be `from` itself, in which case it must be

@@ -228,7 +228,86 @@ func TestWitnessValidity(t *testing.T) {
 }
 
 func TestKindString(t *testing.T) {
-	if Insert.String() != "insert" || Remove.String() != "remove" || Contains.String() != "contains" {
+	if Insert.String() != "insert" || Remove.String() != "remove" || Contains.String() != "contains" || Scan.String() != "scan" {
 		t.Fatal("kind names wrong")
 	}
+}
+
+func TestScanAppliesLikeContains(t *testing.T) {
+	// A scan observation of a stably present key must be true; a history
+	// where the scan missed it is not linearizable.
+	valid := mkOps([][5]int64{
+		{int64(Insert), 1, 1, 1, 2},
+		{int64(Scan), 1, 1, 3, 4},
+		{int64(Scan), 2, 0, 3, 4},
+	})
+	if !Check(valid).Linearizable {
+		t.Fatal("valid scan history rejected")
+	}
+	missed := mkOps([][5]int64{
+		{int64(Insert), 1, 1, 1, 2},
+		{int64(Scan), 1, 0, 3, 4},
+	})
+	if Check(missed).Linearizable {
+		t.Fatal("scan that missed a stably present key accepted")
+	}
+	fabricated := mkOps([][5]int64{
+		{int64(Scan), 1, 1, 1, 2},
+	})
+	if Check(fabricated).Linearizable {
+		t.Fatal("scan that fabricated a never-present key accepted")
+	}
+}
+
+func TestRecordScanDecomposition(t *testing.T) {
+	h := NewHistory(1)
+	r := h.Recorder(0)
+	r.Record(Insert, 1, func() bool { return true })
+	r.Record(Insert, 3, func() bool { return true })
+	r.RecordScan(0, 4, func(observe func(int64)) {
+		observe(1)
+		observe(3)
+	})
+	ops := h.Ops()
+	// 2 inserts + 5 per-key scan observations.
+	if len(ops) != 7 {
+		t.Fatalf("recorded %d ops, want 7", len(ops))
+	}
+	scans := 0
+	for _, op := range ops {
+		if op.Kind == Scan {
+			scans++
+			if want := op.Key == 1 || op.Key == 3; op.Result != want {
+				t.Fatalf("scan observation %v, want Result=%v", op, want)
+			}
+		}
+	}
+	if scans != 5 {
+		t.Fatalf("recorded %d scan ops, want 5", scans)
+	}
+	if !Check(ops).Linearizable {
+		t.Fatal("consistent scan decomposition rejected")
+	}
+}
+
+func TestRecordScanOverlappingUpdate(t *testing.T) {
+	// A scan window overlapping a remove may observe the key either way; both
+	// observations must be linearizable inside the window.
+	for _, observed := range []bool{true, false} {
+		ops := mkOps([][5]int64{
+			{int64(Insert), 1, 1, 1, 2},
+			{int64(Remove), 1, 1, 3, 6},
+			{int64(Scan), 1, boolTo64(observed), 4, 5},
+		})
+		if !Check(ops).Linearizable {
+			t.Fatalf("scan observing %v during overlapping remove rejected", observed)
+		}
+	}
+}
+
+func boolTo64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	withEnabled(t, true)
+	tr := newTestTracer(t, "http_mux", 1)
+	traceOps(tr.Stripe(0), nil)
+
+	srv := httptest.NewServer(DebugMux(tr))
+	defer srv.Close()
+
+	// /debug/vars: expvar JSON containing the registry variable.
+	code, _, body := get(t, srv, "/debug/vars")
+	if code != 200 {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars[expvarName]; !ok {
+		t.Fatalf("/debug/vars missing %q", expvarName)
+	}
+	var all map[string]Snapshot
+	if err := json.Unmarshal(vars[expvarName], &all); err != nil {
+		t.Fatalf("registry var not snapshot JSON: %v", err)
+	}
+	if all["http_mux"].Ops["insert"].Count != 3 {
+		t.Fatalf("/debug/vars snapshot wrong: %+v", all["http_mux"])
+	}
+
+	// /debug/obs: text by default, JSON on request.
+	code, ctype, body := get(t, srv, "/debug/obs")
+	if code != 200 || !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/debug/obs status %d type %q", code, ctype)
+	}
+	if !strings.Contains(body, "tracer http_mux") || !strings.Contains(body, "count=3") {
+		t.Fatalf("/debug/obs text wrong:\n%s", body)
+	}
+	code, ctype, body = get(t, srv, "/debug/obs?format=json")
+	if code != 200 || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/debug/obs?format=json status %d type %q", code, ctype)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil || snap.Name != "http_mux" {
+		t.Fatalf("/debug/obs?format=json wrong (%v):\n%s", err, body)
+	}
+
+	// /debug/trace: drains events, then is empty; ?max truncates.
+	code, ctype, body = get(t, srv, "/debug/trace?max=4")
+	if code != 200 || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/debug/trace status %d type %q", code, ctype)
+	}
+	var events []Event
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("/debug/trace not JSON: %v", err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("/debug/trace?max=4 returned %d events", len(events))
+	}
+	for _, e := range events {
+		if e.Kind != OpInsert && e.Kind != OpGet {
+			t.Fatalf("unexpected traced kind: %+v", e)
+		}
+	}
+	_, _, body = get(t, srv, "/debug/trace")
+	var again []Event
+	if err := json.Unmarshal([]byte(body), &again); err != nil || len(again) != 0 {
+		t.Fatalf("second /debug/trace drain = %q (err %v), want []", body, err)
+	}
+
+	// /debug/pprof/ index responds.
+	code, _, body = get(t, srv, "/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d body %.80q", code, body)
+	}
+}
+
+func TestDebugMuxNilTracer(t *testing.T) {
+	srv := httptest.NewServer(DebugMux(nil))
+	defer srv.Close()
+	code, _, body := get(t, srv, "/debug/trace")
+	if code != 200 || strings.TrimSpace(body) != "[]" {
+		t.Fatalf("nil-tracer /debug/trace = %d %q", code, body)
+	}
+	code, _, body = get(t, srv, "/debug/obs")
+	if code != 200 || !strings.Contains(body, "tracer ") {
+		t.Fatalf("nil-tracer /debug/obs = %d %q", code, body)
+	}
+	if code, _, _ := get(t, srv, "/debug/vars"); code != 200 {
+		t.Fatalf("nil-tracer /debug/vars status %d", code)
+	}
+}

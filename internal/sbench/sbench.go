@@ -17,14 +17,18 @@
 package sbench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"layeredsg/internal/numa"
+	"layeredsg/internal/obs"
 )
 
 // OpHandle is one thread's view of a concurrent map under test. Handles are
@@ -43,6 +47,13 @@ type Adapter interface {
 	Handle(thread int) OpHandle
 	// Close releases background resources (index maintenance goroutines).
 	Close()
+}
+
+// Observed marks adapters carrying an observability tracer (the layered
+// variants built with AdapterOptions.Observe). The harness uses it to expose
+// the tracer to debug endpoints; Tracer may return nil.
+type Observed interface {
+	Tracer() *obs.Tracer
 }
 
 // Oversubscribable marks adapters whose Handle method accepts any worker
@@ -204,6 +215,14 @@ func Run(machine *numa.Machine, a Adapter, w Workload) (Result, error) {
 			if w.LockOSThread {
 				runtime.LockOSThread()
 				defer runtime.UnlockOSThread()
+			}
+			if obs.Enabled.Load() {
+				// Label workers so CPU profiles taken during observed trials
+				// attribute samples per worker (stores relabel per stripe for
+				// the span of each lease).
+				pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+					pprof.Labels("sbench_worker", strconv.Itoa(t))))
+				defer pprof.SetGoroutineLabels(context.Background())
 			}
 			h := a.Handle(t)
 			rng := rand.New(rand.NewSource(w.Seed + int64(t)*0x9E3779B9 + 7))

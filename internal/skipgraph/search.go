@@ -47,13 +47,17 @@ func (sg *SG[K, V]) listHeadFor(previous *node.Node[K, V], level int, vector uin
 // skipDead advances over nodes that are marked at level 0 or that checkRetire
 // just marked (Alg. 5 lines 6–7 / Alg. 8 lines 5–6). Marked level references
 // are immutable, so following them is always safe and terminates at the tail.
-// It returns nil when it runs into a never-linked reference (see scanLevel).
-func (sg *SG[K, V]) skipDead(current *node.Node[K, V], level int, now int64, tr *stats.ThreadRecorder) *node.Node[K, V] {
+// It returns the first live node (nil when it runs into a never-linked
+// reference; see scanLevel) plus the length of the dead chain it skipped —
+// the relink-chain length if a relink CAS later bypasses that chain.
+func (sg *SG[K, V]) skipDead(current *node.Node[K, V], level int, now int64, tr *stats.ThreadRecorder) (*node.Node[K, V], int) {
+	skipped := 0
 	for current != nil && (current.Marked(0, tr) || sg.checkRetire(current, now, tr)) {
 		tr.Visit()
 		current = current.Next(level, tr)
+		skipped++
 	}
-	return current
+	return current, skipped
 }
 
 // scanLevel performs one level's scan of a search: advance previous over
@@ -66,21 +70,21 @@ func (sg *SG[K, V]) skipDead(current *node.Node[K, V], level int, now int64, tr 
 // structures may briefly hand it out as a search start. Running into such a
 // reference restarts the level from the head of the list the predecessor
 // belongs to, which precedes every key and is always linked.
-func (sg *SG[K, V]) scanLevel(key K, previous *node.Node[K, V], level int, vector uint32, now int64, tr *stats.ThreadRecorder) (prev, middle, current *node.Node[K, V]) {
+func (sg *SG[K, V]) scanLevel(key K, previous *node.Node[K, V], level int, vector uint32, now int64, tr *stats.ThreadRecorder) (prev, middle, current *node.Node[K, V], chain int) {
 	for {
 		originalCurrent := previous.Next(level, tr)
-		cur := sg.skipDead(originalCurrent, level, now, tr)
+		cur, skipped := sg.skipDead(originalCurrent, level, now, tr)
 		for cur != nil && cur.LessThan(key) {
 			tr.Visit()
 			previous = cur
 			originalCurrent = previous.Next(level, tr)
-			cur = sg.skipDead(originalCurrent, level, now, tr)
+			cur, skipped = sg.skipDead(originalCurrent, level, now, tr)
 		}
 		if cur == nil || originalCurrent == nil {
 			previous = sg.listHeadFor(previous, level, vector)
 			continue
 		}
-		return previous, originalCurrent, cur
+		return previous, originalCurrent, cur, skipped
 	}
 }
 
@@ -104,7 +108,7 @@ func (sg *SG[K, V]) LazyRelinkSearch(key K, start *node.Node[K, V], vector uint3
 	previous := sg.normalizeStart(start, vector)
 	for level := sg.cfg.MaxLevel; level >= 0; level-- {
 		previous = sg.descend(previous, level, vector)
-		prev, originalCurrent, current := sg.scanLevel(key, previous, level, vector, now, tr)
+		prev, originalCurrent, current, chain := sg.scanLevel(key, previous, level, vector, now, tr)
 		previous = prev
 		res.Preds[level] = previous
 		res.Middles[level] = originalCurrent
@@ -113,7 +117,9 @@ func (sg *SG[K, V]) LazyRelinkSearch(key K, start *node.Node[K, V], vector uint3
 			// Relink optimization outside insertions: swing the predecessor
 			// across the whole marked chain. Failure just means someone else
 			// already cleaned up or the predecessor moved on.
-			previous.CASNext(level, originalCurrent, current, tr)
+			if previous.CASNext(level, originalCurrent, current, tr) {
+				tr.Relink(chain)
+			}
 		}
 	}
 	succ := res.Succs[0]
@@ -132,10 +138,12 @@ func (sg *SG[K, V]) RetireSearch(key K, start *node.Node[K, V], vector uint32, t
 	previous := sg.normalizeStart(start, vector)
 	for level := sg.cfg.MaxLevel; level >= 0; level-- {
 		previous = sg.descend(previous, level, vector)
-		prev, originalCurrent, current := sg.scanLevel(key, previous, level, vector, now, tr)
+		prev, originalCurrent, current, chain := sg.scanLevel(key, previous, level, vector, now, tr)
 		previous = prev
 		if sg.cfg.CleanupDuringSearch && originalCurrent != current {
-			previous.CASNext(level, originalCurrent, current, tr)
+			if previous.CASNext(level, originalCurrent, current, tr) {
+				tr.Relink(chain)
+			}
 		}
 		if current.KeyEquals(key) && !current.Marked(0, tr) {
 			return current, true
@@ -177,6 +185,9 @@ func (sg *SG[K, V]) checkRetire(n *node.Node[K, V], now int64, tr *stats.ThreadR
 		return false
 	}
 	if now-n.AllocTS() <= int64(sg.cfg.CommissionPeriod) {
+		// Still inside its commission period: physical removal is deferred so
+		// a re-insertion of the key can revive the node in place.
+		tr.Deferral()
 		return false
 	}
 	return sg.Retire(n, tr)

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -117,4 +118,159 @@ func (r *Recorder) SetLatency(model LatencyModel) {
 		tr.readSpin = spinTable(topo, tr.node, model.ReadPenaltyPerDistance)
 		tr.casSpin = spinTable(topo, tr.node, model.CASPenaltyPerDistance)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Latency histograms
+//
+// The spin model above *injects* NUMA latency; the histogram below *measures*
+// latency. Together they are the package's two latency halves: trials charge
+// simulated interconnect cost per access, and the observability layer
+// (internal/obs) records where each operation's wall-clock time actually
+// went, per algorithm and operation kind.
+
+// histBuckets covers 0 ns .. ~18 minutes. Values below 32 get their own
+// bucket; above that, each power of two is split into 16 linear sub-buckets
+// (HDR-histogram style), bounding the relative recording error at 1/16.
+const (
+	histSubBuckets = 16
+	histMaxExp     = 35 // clamp values at 16·2^35 ns ≈ 9.2 min
+	histBuckets    = 2*histSubBuckets + histSubBuckets*histMaxExp
+)
+
+// histBucketOf maps a non-negative duration in nanoseconds to its bucket.
+func histBucketOf(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	u := uint64(ns)
+	if u < 2*histSubBuckets {
+		return int(u)
+	}
+	e := bits.Len64(u) - 5 // u>>e lands in [16,32)
+	if e > histMaxExp {
+		return histBuckets - 1
+	}
+	return histSubBuckets*e + int(u>>uint(e))
+}
+
+// histBucketValue returns a representative (midpoint) value for a bucket,
+// the inverse of histBucketOf up to sub-bucket resolution.
+func histBucketValue(idx int) int64 {
+	if idx < 2*histSubBuckets {
+		return int64(idx)
+	}
+	e := idx / histSubBuckets
+	sub := uint64(idx % histSubBuckets)
+	lo := (16 + sub) << uint(e)
+	return int64(lo + (uint64(1)<<uint(e))/2)
+}
+
+// Histogram is an HDR-style latency histogram: recording is one atomic add
+// into a log-linear bucket, safe from any goroutine, allocation-free, and
+// mergeable. The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Record adds one sample (nanoseconds; negatives clamp to zero).
+func (h *Histogram) Record(ns int64) {
+	if h == nil {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[histBucketOf(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(ns))
+	for {
+		old := h.max.Load()
+		if uint64(ns) <= old || h.max.CompareAndSwap(old, uint64(ns)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Merge adds other's samples into h (max is kept as the pairwise max).
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil {
+		return
+	}
+	for i := range other.buckets {
+		if v := other.buckets[i].Load(); v > 0 {
+			h.buckets[i].Add(v)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	for {
+		old, om := h.max.Load(), other.max.Load()
+		if om <= old || h.max.CompareAndSwap(old, om) {
+			break
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time summary of a Histogram.
+type HistogramSnapshot struct {
+	Count  uint64
+	MeanNs float64
+	MaxNs  int64
+	P50Ns  int64
+	P90Ns  int64
+	P99Ns  int64
+	P999Ns int64
+}
+
+// Snapshot summarizes the histogram. Safe to call while samples are being
+// recorded; the snapshot as a whole is not atomic (quantiles may reflect a
+// slightly different sample set than Count).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s.Count = total
+	s.MaxNs = int64(h.max.Load())
+	if total == 0 {
+		return s
+	}
+	s.MeanNs = float64(h.sum.Load()) / float64(total)
+	quantile := func(q float64) int64 {
+		target := uint64(q * float64(total))
+		if target >= total {
+			target = total - 1
+		}
+		var cum uint64
+		for i, c := range counts {
+			cum += c
+			if cum > target {
+				return histBucketValue(i)
+			}
+		}
+		return s.MaxNs
+	}
+	s.P50Ns = quantile(0.50)
+	s.P90Ns = quantile(0.90)
+	s.P99Ns = quantile(0.99)
+	s.P999Ns = quantile(0.999)
+	return s
 }

@@ -37,6 +37,9 @@ type ThreadRecorder struct {
 	visited     uint64
 	searches    uint64
 	ops         uint64
+	relinks     uint64
+	relinkNodes uint64
+	deferrals   uint64
 
 	casRow  []uint64
 	readRow []uint64
@@ -131,6 +134,70 @@ func (tr *ThreadRecorder) Search() {
 	tr.searches++
 }
 
+// Relink records one successful relink CAS that physically unlinked a chain
+// of chainLen marked references with a single swing.
+func (tr *ThreadRecorder) Relink(chainLen int) {
+	if tr == nil {
+		return
+	}
+	tr.relinks++
+	tr.relinkNodes += uint64(chainLen)
+}
+
+// Deferral records one commission-period deferral: a search observed an
+// invalid node it could not yet retire because the node's commission period
+// had not expired (the lazy protocol's deliberate procrastination).
+func (tr *ThreadRecorder) Deferral() {
+	if tr == nil {
+		return
+	}
+	tr.deferrals++
+}
+
+// OpCounters is a snapshot of the per-thread counters that vary within one
+// operation. The observability layer (internal/obs) snapshots them at
+// operation start and diffs at completion to attribute traversal work, CAS
+// retries, relinks, and deferrals to individual operations.
+type OpCounters struct {
+	Visited     uint64
+	Searches    uint64
+	CASFail     uint64
+	CASSuccess  uint64
+	Relinks     uint64
+	RelinkNodes uint64
+	Deferrals   uint64
+}
+
+// Counters snapshots the recorder's cumulative per-op counters. A nil
+// recorder returns zeros.
+func (tr *ThreadRecorder) Counters() OpCounters {
+	if tr == nil {
+		return OpCounters{}
+	}
+	return OpCounters{
+		Visited:     tr.visited,
+		Searches:    tr.searches,
+		CASFail:     tr.casFail,
+		CASSuccess:  tr.casSuccess,
+		Relinks:     tr.relinks,
+		RelinkNodes: tr.relinkNodes,
+		Deferrals:   tr.deferrals,
+	}
+}
+
+// Sub returns the counter-wise difference c - earlier.
+func (c OpCounters) Sub(earlier OpCounters) OpCounters {
+	return OpCounters{
+		Visited:     c.Visited - earlier.Visited,
+		Searches:    c.Searches - earlier.Searches,
+		CASFail:     c.CASFail - earlier.CASFail,
+		CASSuccess:  c.CASSuccess - earlier.CASSuccess,
+		Relinks:     c.Relinks - earlier.Relinks,
+		RelinkNodes: c.RelinkNodes - earlier.RelinkNodes,
+		Deferrals:   c.Deferrals - earlier.Deferrals,
+	}
+}
+
 // Op records one completed map operation (insert/remove/contains), the
 // denominator of every per-op metric in Table 1.
 func (tr *ThreadRecorder) Op() {
@@ -190,13 +257,19 @@ type Summary struct {
 	RemoteCASPerOp   float64
 	CASSuccessRate   float64
 	NodesPerSearch   float64
+	// Relinks counts successful chain-unlinking CASes; RelinkChainAvg is the
+	// mean number of marked references bypassed per relink.
+	Relinks        uint64
+	RelinkChainAvg float64
+	// Deferrals counts commission-period deferrals (lazy protocol only).
+	Deferrals uint64
 }
 
 // Summary aggregates all per-thread counters. Call only after every worker
 // has stopped.
 func (r *Recorder) Summary() Summary {
 	var s Summary
-	var lr, rr, lc, rc, succ, fail, visited, searches uint64
+	var lr, rr, lc, rc, succ, fail, visited, searches, relinkNodes uint64
 	for _, tr := range r.trs {
 		lr += tr.localReads
 		rr += tr.remoteReads
@@ -207,6 +280,12 @@ func (r *Recorder) Summary() Summary {
 		visited += tr.visited
 		searches += tr.searches
 		s.Ops += tr.ops
+		s.Relinks += tr.relinks
+		s.Deferrals += tr.deferrals
+		relinkNodes += tr.relinkNodes
+	}
+	if s.Relinks > 0 {
+		s.RelinkChainAvg = float64(relinkNodes) / float64(s.Relinks)
 	}
 	if s.Ops > 0 {
 		ops := float64(s.Ops)

@@ -59,10 +59,12 @@ package layeredsg
 
 import (
 	"cmp"
+	"net/http"
 
 	"layeredsg/internal/core"
 	"layeredsg/internal/membership"
 	"layeredsg/internal/numa"
+	"layeredsg/internal/obs"
 	"layeredsg/internal/stats"
 )
 
@@ -155,3 +157,33 @@ type AccessSink = stats.AccessSink
 func NewRecorder(machine *Machine, sink AccessSink) *Recorder {
 	return stats.NewRecorder(machine, sink)
 }
+
+// Tracer is the observability layer's hub: per-stripe event rings plus
+// aggregated per-operation metrics, registered under the "layeredsg" expvar.
+// Attach one via Config.Tracer (or AdapterOptions.Observe) and flip
+// SetObservability(true); until then the layer is dormant and allocation-free
+// per operation.
+type Tracer = obs.Tracer
+
+// TracerConfig parameterizes NewTracer.
+type TracerConfig = obs.TracerConfig
+
+// TraceEvent is one traced operation: kind, key, jump origin (local-map hit,
+// local jump, or head descent), latency, and per-op counter deltas (nodes
+// visited, CAS retries, relinked chain nodes, commission-period deferrals).
+type TraceEvent = obs.Event
+
+// NewTracer creates and registers a tracer.
+func NewTracer(cfg TracerConfig) *Tracer { return obs.NewTracer(cfg) }
+
+// SetObservability switches per-operation tracing on or off, process-wide.
+// Off (the default), traced structures run their operations with no event
+// recording and no allocation.
+func SetObservability(on bool) { obs.Enabled.Store(on) }
+
+// ObservabilityEnabled reports whether per-operation tracing is on.
+func ObservabilityEnabled() bool { return obs.Enabled.Load() }
+
+// DebugMux serves /debug/pprof, /debug/vars, /debug/obs, and /debug/trace
+// for a tracer (which may be nil: the pprof and vars endpoints still work).
+func DebugMux(tracer *Tracer) *http.ServeMux { return obs.DebugMux(tracer) }

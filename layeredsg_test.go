@@ -2,10 +2,25 @@ package layeredsg
 
 import (
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 )
+
+// clampThreads caps a test's logical thread count at the host's core count
+// (minimum 2, so concurrency is still exercised): the heavy tests were tuned
+// on 8-core machines and oversubscribing a 2-core CI runner turns them into
+// pure scheduler churn.
+func clampThreads(n int) int {
+	if c := runtime.NumCPU(); n > c {
+		n = c
+	}
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
 
 func testMachine(t *testing.T, threads int) *Machine {
 	t.Helper()

@@ -79,3 +79,92 @@ func TestAlgorithmsLinearizable(t *testing.T) {
 		})
 	}
 }
+
+// TestStoreLinearizable checks the Store facade's full surface — per-op
+// leases, Do sessions, and weakly consistent RangeScan (decomposed into
+// per-key observations; see lincheck.RecordScan) — against the sequential
+// set specification, under concurrent goroutines that are *not* pinned
+// workers, so lease migration and handle handoff are in play.
+func TestStoreLinearizable(t *testing.T) {
+	const (
+		threads   = 4
+		workers   = 6 // oversubscribe: more goroutines than stripes
+		rounds    = 80
+		keySpace  = 3
+		opsPerGor = 3
+	)
+	for round := 0; round < rounds; round++ {
+		machine := testMachine(t, threads)
+		st, err := NewStore[int64, int64](Config{
+			Machine:          machine,
+			Kind:             LazyLayeredSG,
+			CommissionPeriod: 20 * time.Microsecond,
+			Seed:             int64(round),
+		})
+		if err != nil {
+			t.Fatalf("NewStore: %v", err)
+		}
+		h := lincheck.NewHistory(workers)
+		var wg sync.WaitGroup
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rec := h.Recorder(g)
+				rng := rand.New(rand.NewSource(int64(round*workers + g)))
+				for i := 0; i < opsPerGor; i++ {
+					key := rng.Int63n(keySpace)
+					switch rng.Intn(6) {
+					case 0:
+						rec.Record(lincheck.Insert, key, func() bool {
+							return st.Insert(key, key)
+						})
+					case 1:
+						rec.Record(lincheck.Remove, key, func() bool {
+							return st.Remove(key)
+						})
+					case 2:
+						rec.Record(lincheck.Contains, key, func() bool {
+							return st.Contains(key)
+						})
+					case 3:
+						// A Do session: two dependent ops under one lease, each
+						// recorded with its own window.
+						st.Do(func(hd *Handle[int64, int64]) {
+							rec.Record(lincheck.Insert, key, func() bool {
+								return hd.Insert(key, key)
+							})
+							rec.Record(lincheck.Contains, key, func() bool {
+								return hd.Contains(key)
+							})
+						})
+					case 4:
+						// An explicit Lease session.
+						l := st.Acquire()
+						rec.Record(lincheck.Remove, key, func() bool {
+							return l.Handle().Remove(key)
+						})
+						l.Release()
+					default:
+						rec.RecordScan(0, keySpace-1, func(observe func(int64)) {
+							st.RangeScan(0, keySpace-1, func(k, _ int64) bool {
+								observe(k)
+								return true
+							})
+						})
+					}
+					runtime.Gosched()
+				}
+			}(g)
+		}
+		wg.Wait()
+		ops := h.Ops()
+		res := lincheck.Check(ops)
+		if !res.Linearizable {
+			for _, op := range ops {
+				t.Logf("  %v", op)
+			}
+			t.Fatalf("round %d: store history not linearizable (%d states explored)", round, res.Explored)
+		}
+	}
+}

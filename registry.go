@@ -11,6 +11,7 @@ import (
 	"layeredsg/internal/direct"
 	"layeredsg/internal/lockedskiplist"
 	"layeredsg/internal/numa"
+	"layeredsg/internal/obs"
 	"layeredsg/internal/sbench"
 	"layeredsg/internal/stats"
 )
@@ -35,6 +36,11 @@ type AdapterOptions struct {
 	KeySpace int64
 	// Recorder, when non-nil, enables instrumentation.
 	Recorder *stats.Recorder
+	// Observe, when non-nil, attaches the observability layer (per-op event
+	// tracing, exported metrics) to the constructed structure. Supported for
+	// the layered variants only; other algorithms ignore it. The layer stays
+	// dormant until SetObservability(true).
+	Observe *Tracer
 	// Scheme selects membership vectors for partitioned structures; zero
 	// value means NUMA-aware.
 	Scheme Scheme
@@ -54,13 +60,18 @@ type simpleAdapter struct {
 	name   string
 	handle func(int) sbench.OpHandle
 	close  func()
+	tracer *Tracer
 }
 
 func (a *simpleAdapter) Name() string                 { return a.name }
 func (a *simpleAdapter) Handle(t int) sbench.OpHandle { return a.handle(t) }
 func (a *simpleAdapter) Close()                       { a.close() }
+func (a *simpleAdapter) Tracer() *obs.Tracer          { return a.tracer }
 
-var _ sbench.Adapter = (*simpleAdapter)(nil)
+var (
+	_ sbench.Adapter  = (*simpleAdapter)(nil)
+	_ sbench.Observed = (*simpleAdapter)(nil)
+)
 
 func heightFor(keySpace int64) int {
 	if keySpace <= 2 {
@@ -79,6 +90,7 @@ func layeredBuilder(kind core.Kind) algoBuilder {
 			Scheme:           o.Scheme,
 			CommissionPeriod: o.CommissionPeriod,
 			Recorder:         o.Recorder,
+			Tracer:           o.Observe,
 			Seed:             o.Seed,
 		}
 		if o.ViaStore {
@@ -86,7 +98,7 @@ func layeredBuilder(kind core.Kind) algoBuilder {
 			if err != nil {
 				return nil, err
 			}
-			return &storeAdapter{name: kind.String() + "+store", st: st}, nil
+			return &storeAdapter{name: kind.String() + "+store", st: st, tracer: o.Observe}, nil
 		}
 		lm, err := core.New[int64, int64](cfg)
 		if err != nil {
@@ -96,6 +108,7 @@ func layeredBuilder(kind core.Kind) algoBuilder {
 			name:   kind.String(),
 			handle: func(t int) sbench.OpHandle { return lm.Handle(t) },
 			close:  func() {},
+			tracer: o.Observe,
 		}, nil
 	}
 }
@@ -105,8 +118,9 @@ func layeredBuilder(kind core.Kind) algoBuilder {
 // confined handle internally. It is oversubscribable — the harness may run
 // more worker goroutines than machine threads against it.
 type storeAdapter struct {
-	name string
-	st   *Store[int64, int64]
+	name   string
+	st     *Store[int64, int64]
+	tracer *Tracer
 }
 
 func (a *storeAdapter) Name() string                { return a.name }
@@ -114,8 +128,12 @@ func (a *storeAdapter) Handle(int) sbench.OpHandle  { return storeOpHandle{a.st}
 func (a *storeAdapter) Close()                      {}
 func (a *storeAdapter) Oversubscribable() bool      { return true }
 func (a *storeAdapter) Store() *Store[int64, int64] { return a.st }
+func (a *storeAdapter) Tracer() *obs.Tracer         { return a.tracer }
 
-var _ sbench.Oversubscribable = (*storeAdapter)(nil)
+var (
+	_ sbench.Oversubscribable = (*storeAdapter)(nil)
+	_ sbench.Observed         = (*storeAdapter)(nil)
+)
 
 // storeOpHandle adapts Store's goroutine-safe operations to the per-worker
 // OpHandle interface.

@@ -23,8 +23,8 @@ import (
 // thread's fullyLinked flag *without* an instrumented access, which would
 // livelock a scheduler that only preempts at instrumented points.
 func TestScheduledLinearizability(t *testing.T) {
+	threads := clampThreads(3)
 	const (
-		threads  = 3
 		ops      = 5
 		keySpace = 2
 		seeds    = 200

@@ -2,11 +2,15 @@ package layeredsg
 
 import (
 	"cmp"
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"layeredsg/internal/core"
+	"layeredsg/internal/obs"
 	"layeredsg/internal/stats"
 )
 
@@ -43,11 +47,21 @@ type Store[K cmp.Ordered, V any] struct {
 type storeStripe[K cmp.Ordered, V any] struct {
 	mu sync.Mutex
 	h  *core.Handle[K, V]
-	_  [40]byte //nolint:unused
+	// labels carries the stripe's pprof goroutine labels
+	// (layeredsg_stripe=<i>), applied for the span of a lease while the
+	// observability layer is enabled, so CPU and block profiles attribute
+	// samples to stripes.
+	labels context.Context
+	_      [40]byte //nolint:unused
 }
 
-// stripeHint carries a goroutine's preferred stripe between leases.
-type stripeHint struct{ idx int }
+// stripeHint carries a goroutine's preferred stripe between leases, plus
+// whether the current lease applied pprof labels (so release knows to clear
+// them even if obs.Enabled flipped mid-lease).
+type stripeHint struct {
+	idx     int
+	labeled bool
+}
 
 // NewStore builds a layered map and wraps it in a goroutine-safe Store. The
 // configuration is the same as New's; the machine's thread count sets the
@@ -65,6 +79,8 @@ func NewStore[K cmp.Ordered, V any](cfg Config) (*Store[K, V], error) {
 	}
 	for t := 0; t < threads; t++ {
 		s.stripes[t].h = m.Handle(t)
+		s.stripes[t].labels = pprof.WithLabels(context.Background(),
+			pprof.Labels("layeredsg_stripe", strconv.Itoa(t)))
 	}
 	s.hints.New = func() any {
 		return &stripeHint{idx: int(s.next.Add(1)-1) % threads}
@@ -96,7 +112,7 @@ func (s *Store[K, V]) acquire() (int, *stripeHint) {
 	i := hint.idx
 	if s.stripes[i].mu.TryLock() {
 		s.lr.Hit(i)
-		s.stripes[i].h.BeginExclusive()
+		s.beginLease(i, hint)
 		return i, hint
 	}
 	for k := 1; k < n; k++ {
@@ -107,18 +123,35 @@ func (s *Store[K, V]) acquire() (int, *stripeHint) {
 		if s.stripes[j].mu.TryLock() {
 			s.lr.Migrate(j)
 			hint.idx = j // affinity follows the migration
-			s.stripes[j].h.BeginExclusive()
+			s.beginLease(j, hint)
 			return j, hint
 		}
 	}
 	s.lr.Block(i)
 	s.stripes[i].mu.Lock()
-	s.stripes[i].h.BeginExclusive()
+	s.beginLease(i, hint)
 	return i, hint
+}
+
+// beginLease asserts confinement and, while the observability layer is on,
+// labels the leasing goroutine with its stripe so profiles taken through
+// /debug/pprof attribute samples per stripe. Labeling replaces any labels the
+// caller had set for the lease's duration (pprof offers no way to read them
+// back); release clears to the empty label set.
+func (s *Store[K, V]) beginLease(i int, hint *stripeHint) {
+	s.stripes[i].h.BeginExclusive()
+	if obs.Enabled.Load() {
+		pprof.SetGoroutineLabels(s.stripes[i].labels)
+		hint.labeled = true
+	}
 }
 
 // release ends a lease taken by acquire.
 func (s *Store[K, V]) release(i int, hint *stripeHint) {
+	if hint.labeled {
+		hint.labeled = false
+		pprof.SetGoroutineLabels(context.Background())
+	}
 	s.stripes[i].h.EndExclusive()
 	s.stripes[i].mu.Unlock()
 	s.hints.Put(hint)

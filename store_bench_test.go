@@ -105,3 +105,48 @@ func BenchmarkStoreMicro(b *testing.B) {
 		})
 	})
 }
+
+// BenchmarkTraceOverhead isolates the observability layer's per-operation
+// cost on the leased Get path. A tracer is attached in every sub-benchmark
+// (the shipping configuration); what varies is the package switch:
+//
+//	none     — no tracer attached at all (the PR-1 baseline shape)
+//	disabled — tracer attached, obs.Enabled off (the always-on default)
+//	enabled  — full tracing: event ring writes, metric folds, pprof labels
+//
+// disabled vs. none is the cost the acceptance criterion bounds at < 5%.
+// See EXPERIMENTS.md ("Tracing overhead") for a recorded run.
+func BenchmarkTraceOverhead(b *testing.B) {
+	const keySpace = 1 << 14
+	build := func(b *testing.B, traced bool) *Store[int64, int64] {
+		b.Helper()
+		cfg := Config{Machine: benchMachine(b, benchThreads), Kind: LazyLayeredSG}
+		if traced {
+			tr := NewTracer(TracerConfig{Name: "bench_trace_overhead"})
+			b.Cleanup(tr.Close)
+			cfg.Tracer = tr
+		}
+		st, err := NewStore[int64, int64](cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for k := int64(0); k < keySpace; k += 4 {
+			st.Insert(k, k)
+		}
+		return st
+	}
+	run := func(traced, enabled bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			st := build(b, traced)
+			SetObservability(enabled)
+			defer SetObservability(false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.Get(int64(i) % keySpace)
+			}
+		}
+	}
+	b.Run("none", run(false, false))
+	b.Run("disabled", run(true, false))
+	b.Run("enabled", run(true, true))
+}

@@ -18,8 +18,8 @@ func TestTorture(t *testing.T) {
 	if testing.Short() {
 		t.Skip("torture is slow")
 	}
+	threads := clampThreads(8)
 	const (
-		threads   = 8
 		ownedKeys = 300
 		sharedOps = 5000
 	)
@@ -97,7 +97,9 @@ func TestTortureWithReaders(t *testing.T) {
 	if testing.Short() {
 		t.Skip("torture is slow")
 	}
-	const writers, readers = 12, 4
+	// Deliberately oversubscribed relative to the clamped writer count, but
+	// still bounded by the host so tiny CI runners finish in sane time.
+	writers, readers := clampThreads(12), clampThreads(4)
 	machine := testMachine(t, writers+readers)
 	m, err := New[int64, int64](Config{
 		Machine:          machine,
