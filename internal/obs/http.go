@@ -15,6 +15,7 @@ import (
 //	/debug/vars      — expvar, including the "layeredsg" tracer registry
 //	/debug/obs       — the tracer's snapshot (text; ?format=json for JSON)
 //	/debug/trace     — drains the tracer's event rings as a JSON array
+//	                   (single consumer; see TraceHandler)
 //
 // A dedicated mux (rather than http.DefaultServeMux) keeps repeated servers
 // in one process — tests, multiple trials — from fighting over global
@@ -51,6 +52,12 @@ func SnapshotHandler(tracer *Tracer) http.Handler {
 // TraceHandler drains the tracer's per-stripe event rings and serves the
 // events as a JSON array. Each GET returns only events recorded since the
 // previous drain; ?max=N truncates the response to the most recent N.
+//
+// The endpoint is single-consumer: every GET advances the tracer's shared
+// drain cursors (Tracer.Drain), so concurrent or interleaved clients steal
+// events from one another, and events truncated away by ?max=N are gone for
+// good. Point exactly one collector at it; fan out downstream if several
+// readers need the stream.
 func TraceHandler(tracer *Tracer) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		events := tracer.Drain()

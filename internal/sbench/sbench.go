@@ -56,6 +56,15 @@ type Observed interface {
 	Tracer() *obs.Tracer
 }
 
+// LabelCarrier marks OpHandles that apply pprof goroutine labels around
+// their operations (e.g. the Store facade's per-stripe lease labels). Run
+// hands each worker's labeled context to its handle so the handle composes
+// its labels with the worker's and restores the worker's labels afterwards,
+// instead of erasing them.
+type LabelCarrier interface {
+	SetLabelContext(ctx context.Context)
+}
+
 // Oversubscribable marks adapters whose Handle method accepts any worker
 // index — not just pinned logical threads — and returns handles safe to use
 // from arbitrary goroutines (e.g. the Store facade, which leases confined
@@ -216,15 +225,22 @@ func Run(machine *numa.Machine, a Adapter, w Workload) (Result, error) {
 				runtime.LockOSThread()
 				defer runtime.UnlockOSThread()
 			}
+			var labelCtx context.Context
 			if obs.Enabled.Load() {
 				// Label workers so CPU profiles taken during observed trials
-				// attribute samples per worker (stores relabel per stripe for
-				// the span of each lease).
-				pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
-					pprof.Labels("sbench_worker", strconv.Itoa(t))))
+				// attribute samples per worker (stores add a per-stripe label
+				// for the span of each lease).
+				labelCtx = pprof.WithLabels(context.Background(),
+					pprof.Labels("sbench_worker", strconv.Itoa(t)))
+				pprof.SetGoroutineLabels(labelCtx)
 				defer pprof.SetGoroutineLabels(context.Background())
 			}
 			h := a.Handle(t)
+			if lc, ok := h.(LabelCarrier); ok {
+				// Hand the worker's labels to label-applying handles so leases
+				// restore them instead of clearing to the empty label set.
+				lc.SetLabelContext(labelCtx)
+			}
 			rng := rand.New(rand.NewSource(w.Seed + int64(t)*0x9E3779B9 + 7))
 			nextKey := w.keyGen(rng)
 			var (

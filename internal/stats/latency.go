@@ -160,9 +160,11 @@ func histBucketValue(idx int) int64 {
 	if idx < 2*histSubBuckets {
 		return int64(idx)
 	}
-	e := idx / histSubBuckets
+	// Invert histBucketOf: idx = histSubBuckets·e + u>>e with u>>e in
+	// [16,32), so idx/histSubBuckets is e+1, not e.
+	e := idx/histSubBuckets - 1
 	sub := uint64(idx % histSubBuckets)
-	lo := (16 + sub) << uint(e)
+	lo := (histSubBuckets + sub) << uint(e)
 	return int64(lo + (uint64(1)<<uint(e))/2)
 }
 

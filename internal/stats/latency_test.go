@@ -92,6 +92,79 @@ func TestSetLatencyChargesRemoteAccesses(t *testing.T) {
 	}
 }
 
+func TestHistBucketRoundTrip(t *testing.T) {
+	// Linear region: exact.
+	for ns := int64(0); ns < 2*histSubBuckets; ns++ {
+		if got := histBucketValue(histBucketOf(ns)); got != ns {
+			t.Fatalf("linear bucket not exact: %d -> %d", ns, got)
+		}
+	}
+	// Log-linear region: the bucket midpoint must be within the histogram's
+	// design error bound (1/16 relative) of every value it represents.
+	for ns := int64(2 * histSubBuckets); ns < int64(histSubBuckets)<<histMaxExp; ns += ns/7 + 1 {
+		got := histBucketValue(histBucketOf(ns))
+		diff := got - ns
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff*histSubBuckets > ns {
+			t.Fatalf("histBucketValue(histBucketOf(%d)) = %d, off by %d (> 1/16 relative)", ns, got, diff)
+		}
+	}
+	// Every bucket's representative must land back in the same bucket, and
+	// representatives must be strictly increasing.
+	prev := int64(-1)
+	for idx := 0; idx < histBuckets; idx++ {
+		v := histBucketValue(idx)
+		if got := histBucketOf(v); got != idx {
+			t.Fatalf("bucket %d: representative %d maps to bucket %d", idx, v, got)
+		}
+		if v <= prev {
+			t.Fatalf("bucket values not monotone: bucket %d = %d, bucket %d = %d", idx-1, prev, idx, v)
+		}
+		prev = v
+	}
+}
+
+func TestHistBucketKnownValues(t *testing.T) {
+	// Spot-check the decode against exact expectations: the representative of
+	// a value's bucket is the midpoint of [lo, lo+2^e), never ~2x the value.
+	for _, tc := range []struct{ ns, want int64 }{
+		{31, 31},           // last linear bucket
+		{32, 33},           // first log-linear bucket: [32,34) -> 33
+		{1000, 1008},       // [992,1024) at e=5 -> 992+16
+		{100_000, 100_352}, // e=12: [98304,102400) -> 98304+2048
+	} {
+		if got := histBucketValue(histBucketOf(tc.ns)); got != tc.want {
+			t.Fatalf("histBucketValue(histBucketOf(%d)) = %d, want %d", tc.ns, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramQuantilesConsistentWithMean(t *testing.T) {
+	// A degenerate distribution (every sample identical) must report
+	// quantiles equal to the mean up to bucket resolution — this is the
+	// doubled-decode regression check.
+	var h Histogram
+	const ns = 1000
+	for i := 0; i < 100; i++ {
+		h.Record(ns)
+	}
+	s := h.Snapshot()
+	if s.MeanNs != ns {
+		t.Fatalf("mean = %v, want %d", s.MeanNs, ns)
+	}
+	for _, q := range []int64{s.P50Ns, s.P90Ns, s.P99Ns, s.P999Ns} {
+		diff := q - ns
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff*histSubBuckets > ns {
+			t.Fatalf("quantile %d inconsistent with mean %d (snapshot %+v)", q, ns, s)
+		}
+	}
+}
+
 func TestCalibrateIdempotent(t *testing.T) {
 	calibrate()
 	first := itersPerNano

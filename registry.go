@@ -1,6 +1,7 @@
 package layeredsg
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -124,7 +125,7 @@ type storeAdapter struct {
 }
 
 func (a *storeAdapter) Name() string                { return a.name }
-func (a *storeAdapter) Handle(int) sbench.OpHandle  { return storeOpHandle{a.st} }
+func (a *storeAdapter) Handle(int) sbench.OpHandle  { return &storeOpHandle{st: a.st} }
 func (a *storeAdapter) Close()                      {}
 func (a *storeAdapter) Oversubscribable() bool      { return true }
 func (a *storeAdapter) Store() *Store[int64, int64] { return a.st }
@@ -136,12 +137,38 @@ var (
 )
 
 // storeOpHandle adapts Store's goroutine-safe operations to the per-worker
-// OpHandle interface.
-type storeOpHandle struct{ st *Store[int64, int64] }
+// OpHandle interface. It carries the worker's labeled pprof context (handed
+// over by sbench.Run via SetLabelContext) so each lease composes its stripe
+// label onto the worker's labels and restores them on release, instead of
+// erasing them after the worker's first operation.
+type storeOpHandle struct {
+	st  *Store[int64, int64]
+	ctx context.Context
+}
 
-func (h storeOpHandle) Insert(key, value int64) bool { return h.st.Insert(key, value) }
-func (h storeOpHandle) Remove(key int64) bool        { return h.st.Remove(key) }
-func (h storeOpHandle) Contains(key int64) bool      { return h.st.Contains(key) }
+func (h *storeOpHandle) SetLabelContext(ctx context.Context) { h.ctx = ctx }
+
+func (h *storeOpHandle) lease() (int, *stripeHint) { return h.st.acquireCtx(h.ctx) }
+
+func (h *storeOpHandle) Insert(key, value int64) bool {
+	i, hint := h.lease()
+	defer h.st.release(i, hint)
+	return h.st.stripes[i].h.Insert(key, value)
+}
+
+func (h *storeOpHandle) Remove(key int64) bool {
+	i, hint := h.lease()
+	defer h.st.release(i, hint)
+	return h.st.stripes[i].h.Remove(key)
+}
+
+func (h *storeOpHandle) Contains(key int64) bool {
+	i, hint := h.lease()
+	defer h.st.release(i, hint)
+	return h.st.stripes[i].h.Contains(key)
+}
+
+var _ sbench.LabelCarrier = (*storeOpHandle)(nil)
 
 func directBuilder(shape direct.Shape) algoBuilder {
 	return func(m *numa.Machine, o AdapterOptions) (Adapter, error) {

@@ -1,7 +1,10 @@
 package layeredsg
 
 import (
+	"bytes"
+	"context"
 	"math/rand"
+	"runtime/pprof"
 	"sync"
 	"testing"
 )
@@ -40,6 +43,55 @@ func TestStoreBasicOps(t *testing.T) {
 	}
 	if st.Contains(1) {
 		t.Fatal("Contains(1) after remove")
+	}
+}
+
+// goroutineHasLabel reports whether any goroutine in the process currently
+// wears the given pprof label pair, by grepping the debug=1 goroutine
+// profile (the only way to read goroutine labels back). The tests below use
+// process-unique label values, so "any goroutine" pins down the caller.
+func goroutineHasLabel(t *testing.T, key, value string) bool {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := pprof.Lookup("goroutine").WriteTo(&buf, 1); err != nil {
+		t.Fatalf("goroutine profile: %v", err)
+	}
+	return bytes.Contains(buf.Bytes(), []byte(`"`+key+`":"`+value+`"`))
+}
+
+// TestStoreLeaseLabelRestore checks the DoContext/AcquireContext contract:
+// while observability is on, a lease composes its stripe label onto the
+// caller's pprof labels and restores the caller's labels on release, rather
+// than erasing them (the sbench worker-attribution regression).
+func TestStoreLeaseLabelRestore(t *testing.T) {
+	st := testStore(t, 2, LazyLayeredSG)
+	SetObservability(true)
+	defer SetObservability(false)
+
+	ctx := pprof.WithLabels(context.Background(),
+		pprof.Labels("store_test_caller", "label_restore_probe"))
+	pprof.SetGoroutineLabels(ctx)
+	defer pprof.SetGoroutineLabels(context.Background())
+
+	sawBoth := false
+	st.DoContext(ctx, func(h *Handle[int64, int64]) {
+		h.Insert(1, 1)
+		sawBoth = goroutineHasLabel(t, "store_test_caller", "label_restore_probe") &&
+			(goroutineHasLabel(t, "layeredsg_stripe", "0") ||
+				goroutineHasLabel(t, "layeredsg_stripe", "1"))
+	})
+	if !sawBoth {
+		t.Error("lease did not compose the stripe label onto the caller's labels")
+	}
+	if !goroutineHasLabel(t, "store_test_caller", "label_restore_probe") {
+		t.Error("DoContext erased the caller's goroutine labels on release")
+	}
+
+	l := st.AcquireContext(ctx)
+	l.Handle().Insert(2, 2)
+	l.Release()
+	if !goroutineHasLabel(t, "store_test_caller", "label_restore_probe") {
+		t.Error("AcquireContext/Release erased the caller's goroutine labels")
 	}
 }
 
