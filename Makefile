@@ -5,17 +5,21 @@
 #                   packages: internal/core (handle migration contract),
 #                   the root package (Store facade leasing), and
 #                   internal/sbench (oversubscribed trials)
+#   make race-maintain — race pass over the background-maintenance surface:
+#                   internal/maintain plus the root scenarios that run
+#                   helpers against inline searches (claim arbitration,
+#                   Close-during-drain, scheduled linearizability)
 #   make bench    — the Store-overhead benchmark pair (see EXPERIMENTS.md)
 #   make fuzz-smoke — 30s of coverage-guided fuzzing per fuzz target (the
-#                   go tool accepts one -fuzz pattern per run, hence two
-#                   invocations); seed-corpus replay is part of plain `test`
+#                   go tool accepts one -fuzz pattern per run, hence one
+#                   invocation each); seed-corpus replay is part of plain `test`
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: ci build test vet race bench fuzz-smoke fmt
+.PHONY: ci build test vet race race-maintain bench fuzz-smoke fmt
 
-ci: build test vet race
+ci: build test vet race race-maintain
 
 build:
 	$(GO) build ./...
@@ -29,12 +33,17 @@ vet:
 race:
 	$(GO) test -race -short ./internal/core ./internal/sbench .
 
+race-maintain:
+	$(GO) test -race ./internal/maintain
+	$(GO) test -race -run 'Maint|TestCloseDuringDrain|TestStoreCloseLifecycle|TestHelperVsInline' .
+
 bench:
 	$(GO) test -run '^$$' -bench 'Store' -benchtime 3x .
 
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSkipGraphOps$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzStoreOps$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzMaintainOps$$' -fuzztime $(FUZZTIME) .
 
 fmt:
 	gofmt -l .

@@ -231,6 +231,60 @@ func BenchmarkTable2_CacheMisses(b *testing.B) {
 	}
 }
 
+// BenchmarkMaintainOverhead compares the lazy layered map's maintenance
+// policies — the paper's inline protocol vs. the background helper pool vs.
+// hybrid — on the write-heavy high- and low-contention scenarios, reporting
+// both throughput and sampled p99 operation latency. The interesting number
+// is the tail: background maintenance moves finishInsert/retire/relink work
+// off the critical path, so p99 should drop (or hold) while throughput stays
+// within noise of inline.
+func BenchmarkMaintainOverhead(b *testing.B) {
+	scenarios := []struct {
+		name string
+		sc   experiments.Scenario
+	}{
+		{"HC_WH", experiments.HC},
+		{"LC_WH", experiments.LC},
+	}
+	policies := []struct {
+		name   string
+		policy MaintenancePolicy
+	}{
+		{"inline", MaintInline},
+		{"background", MaintBackground},
+		{"hybrid", MaintHybrid},
+	}
+	machine := benchMachine(b, benchThreads)
+	for _, sc := range scenarios {
+		for _, p := range policies {
+			b.Run(sc.name+"/"+p.name, func(b *testing.B) {
+				var opsPerMs, p99 float64
+				for i := 0; i < b.N; i++ {
+					a, err := NewAdapter("lazy_layered_sg", machine, AdapterOptions{
+						KeySpace:    sc.sc.KeySpace,
+						Maintenance: p.policy,
+						Seed:        int64(i),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					w := benchWorkload(sc.sc, experiments.WH)
+					w.LatencySample = 64
+					res, err := sbench.Trial(machine, a, w)
+					a.Close()
+					if err != nil {
+						b.Fatal(err)
+					}
+					opsPerMs += res.OpsPerMs
+					p99 += float64(res.Latency.P99Ns)
+				}
+				b.ReportMetric(opsPerMs/float64(b.N), "ops/ms")
+				b.ReportMetric(p99/float64(b.N), "p99ns")
+			})
+		}
+	}
+}
+
 // BenchmarkOps measures raw single-threaded operation latency per algorithm
 // on a preloaded MC-sized structure — the ns/op ground truth under the
 // throughput figures.

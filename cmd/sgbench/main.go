@@ -16,6 +16,12 @@
 //
 //	sgbench -algo lazy_layered_sg -threads 16 -via-store -goroutines 64
 //
+// The lazy layered variants' deferred maintenance can be moved off the
+// critical path with -maintain background (or hybrid); pair it with
+// -latency-sample N to compare tail latencies against the inline default:
+//
+//	sgbench -algo lazy_layered_sg -maintain background -latency-sample 64
+//
 // The observability layer attaches with -observe (prints per-op metrics —
 // latency percentiles, jump origins, CAS retries — after the run) and
 // -debug-addr, which additionally serves /debug/pprof, /debug/vars,
@@ -65,6 +71,8 @@ func run(args []string, w io.Writer) error {
 		workers   = fs.Int("goroutines", 0, "worker goroutines (0 = one per thread; >threads requires -via-store)")
 		observe   = fs.Bool("observe", false, "attach the observability layer (event tracing + metrics; layered variants only) and print its snapshot")
 		debugAddr = fs.String("debug-addr", "", "serve /debug/pprof, /debug/vars, /debug/obs, /debug/trace on this address (implies -observe)")
+		maintain  = fs.String("maintain", "inline", "maintenance policy for the lazy layered variants: inline, background, or hybrid")
+		latEvery  = fs.Int("latency-sample", 0, "sample every Nth operation's wall-clock latency and print quantiles (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,6 +91,17 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var policy layeredsg.MaintenancePolicy
+	switch *maintain {
+	case "inline":
+		policy = layeredsg.MaintInline
+	case "background":
+		policy = layeredsg.MaintBackground
+	case "hybrid":
+		policy = layeredsg.MaintHybrid
+	default:
+		return fmt.Errorf("unknown -maintain policy %q (want inline, background, or hybrid)", *maintain)
+	}
 	wl := layeredsg.Workload{
 		KeySpace:        *keySpace,
 		UpdateRatio:     *update,
@@ -92,6 +111,7 @@ func run(args []string, w io.Writer) error {
 		LockOSThread:    *pin,
 		YieldEvery:      *yield,
 		Goroutines:      *workers,
+		LatencySample:   *latEvery,
 	}
 	var tracer *layeredsg.Tracer
 	if *observe || *debugAddr != "" {
@@ -112,10 +132,11 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "debug server:       http://%s/debug/\n", ln.Addr())
 	}
 	res, err := layeredsg.RunAverage(machine, *algo, layeredsg.AdapterOptions{
-		KeySpace: *keySpace,
-		Seed:     *seed,
-		ViaStore: *viaStore,
-		Observe:  tracer,
+		KeySpace:    *keySpace,
+		Seed:        *seed,
+		ViaStore:    *viaStore,
+		Observe:     tracer,
+		Maintenance: policy,
 	}, wl, *runs)
 	if err != nil {
 		return err
@@ -128,6 +149,14 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "throughput:         %.0f ops/ms\n", res.OpsPerMs)
 	fmt.Fprintf(w, "total operations:   %d (%d runs)\n", res.TotalOps, *runs)
 	fmt.Fprintf(w, "effective updates:  %.1f%% (requested %.0f%%)\n", res.EffectiveUpdatePct, *update*100)
+	if *maintain != "inline" {
+		fmt.Fprintf(w, "maintenance:        %s\n", policy)
+	}
+	if l := res.Latency; l.Count > 0 {
+		fmt.Fprintf(w, "latency (sampled):  p50=%s p90=%s p99=%s p999=%s max=%s (%d samples)\n",
+			time.Duration(l.P50Ns), time.Duration(l.P90Ns), time.Duration(l.P99Ns),
+			time.Duration(l.P999Ns), time.Duration(l.MaxNs), l.Count)
+	}
 	if tracer != nil {
 		fmt.Fprintln(w)
 		if err := tracer.Snapshot().WriteText(w); err != nil {

@@ -2,6 +2,7 @@ package layeredsg
 
 import (
 	"sort"
+	"sync/atomic"
 	"testing"
 
 	"layeredsg/internal/core"
@@ -178,6 +179,78 @@ func replayHandleOps(t *testing.T, kind core.Kind, data []byte) {
 			h = m.Handle(thread)
 		}
 	}
+	checkModel(t, kind, m, model)
+}
+
+// FuzzMaintainOps replays the same byte-encoded sequences against the lazy
+// variants with background and hybrid maintenance: operations still run
+// sequentially (so every result must match the model exactly — deferred
+// maintenance is invisible to the logical contents), but real helper
+// goroutines drain finish/retire/relink work concurrently the whole time.
+// The clock is atomic because helpers read it outside the caller's thread.
+// After the replay the engine is Closed — its final drain must leave the
+// structure valid with no lost keys and nothing queued.
+func FuzzMaintainOps(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 3, 1, 2, 1, 3, 1, 0, 1, 3, 1})
+	f.Add([]byte{0, 10, 0, 20, 0, 30, 2, 20, 0, 20, 2, 10, 4, 10, 0, 10})
+	f.Add([]byte{0, 5, 2, 5, 0, 5, 2, 5, 0, 5, 2, 5, 0, 5, 4, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, kind := range []core.Kind{core.LazyLayeredSG, core.LazyLayeredSSG} {
+			for _, policy := range []core.MaintenancePolicy{core.MaintBackground, core.MaintHybrid} {
+				replayMaintainOps(t, kind, policy, data)
+			}
+		}
+	})
+}
+
+func replayMaintainOps(t *testing.T, kind core.Kind, policy core.MaintenancePolicy, data []byte) {
+	machine := fuzzMachine(t)
+	var now atomic.Int64
+	m, err := New[int64, int64](Config{
+		Machine:          machine,
+		Kind:             kind,
+		Seed:             1,
+		CommissionPeriod: 500,
+		Maintenance:      policy,
+		Clock:            func() int64 { return now.Add(50) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[int64]int64{}
+	thread := 0
+	h := m.Handle(0)
+	for i := 0; i+1 < len(data); i += 2 {
+		sel, kb := data[i], data[i+1]
+		key := int64(kb) % fuzzKeySpace
+		_, present := model[key]
+		switch sel % 6 {
+		case 0, 1:
+			if got := h.Insert(key, key); got != !present {
+				t.Fatalf("%v/%v op %d: Insert(%d) = %v with present=%v", kind, policy, i/2, key, got, present)
+			}
+			model[key] = key
+		case 2:
+			if got := h.Remove(key); got != present {
+				t.Fatalf("%v/%v op %d: Remove(%d) = %v with present=%v", kind, policy, i/2, key, got, present)
+			}
+			delete(model, key)
+		case 3:
+			v, ok := h.Get(key)
+			if ok != present || (ok && v != key) {
+				t.Fatalf("%v/%v op %d: Get(%d) = (%d, %v) with present=%v", kind, policy, i/2, key, v, ok, present)
+			}
+		case 4:
+			if got := h.Contains(key); got != present {
+				t.Fatalf("%v/%v op %d: Contains(%d) = %v with present=%v", kind, policy, i/2, key, got, present)
+			}
+		case 5:
+			// Rotate to the next confined handle (sequential handoff).
+			thread = (thread + 1) % m.Threads()
+			h = m.Handle(thread)
+		}
+	}
+	m.Close()
 	checkModel(t, kind, m, model)
 }
 

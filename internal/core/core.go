@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"layeredsg/internal/local"
+	"layeredsg/internal/maintain"
 	"layeredsg/internal/membership"
 	"layeredsg/internal/node"
 	"layeredsg/internal/numa"
@@ -86,6 +87,39 @@ func (k Kind) sparse() bool {
 	return k == LayeredSSG || k == LazyLayeredSSG
 }
 
+// MaintenancePolicy selects who performs the lazy protocol's deferred
+// maintenance (finishing insertions, retiring expired nodes, unlinking
+// marked chains). Non-lazy variants ignore it.
+type MaintenancePolicy int
+
+const (
+	// MaintInline is the paper's protocol: maintenance piggybacks on
+	// searches and getStart. The zero value.
+	MaintInline MaintenancePolicy = iota
+	// MaintBackground hands all three kinds of deferred work to the
+	// internal/maintain helper pool; searches only enqueue. Operations keep
+	// their inline fallbacks for backpressure drops and post-Close work.
+	MaintBackground
+	// MaintHybrid enqueues like MaintBackground but keeps inline expired
+	// retirement active too: whichever agent reaches an expired node first
+	// retires it.
+	MaintHybrid
+)
+
+// String implements fmt.Stringer.
+func (p MaintenancePolicy) String() string {
+	switch p {
+	case MaintInline:
+		return "inline"
+	case MaintBackground:
+		return "background"
+	case MaintHybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("MaintenancePolicy(%d)", int(p))
+	}
+}
+
 // Config parameterizes a layered map.
 type Config struct {
 	// Machine supplies the thread count, pinning, and topology; required.
@@ -95,8 +129,30 @@ type Config struct {
 	// Scheme selects membership-vector generation; defaults to NUMAAware.
 	Scheme membership.Scheme
 	// CommissionPeriod overrides the lazy protocol's commission period;
-	// 0 uses the paper's proportional-to-T default.
+	// 0 uses the paper's proportional-to-T default (capped, derived from
+	// the effective concurrency — see ConcurrencyHint).
 	CommissionPeriod time.Duration
+	// CommissionPerThread overrides the per-thread constant of the derived
+	// commission period (default skipgraph.DefaultCommissionPerThread).
+	// Ignored when CommissionPeriod is set explicitly.
+	CommissionPerThread time.Duration
+	// ConcurrencyHint is the number of threads expected to operate
+	// concurrently; 0 means all of the machine's threads. The commission
+	// period protects in-commission nodes from retirement long enough for
+	// revivals, and the revival window scales with actual contention — so a
+	// map sized for the whole machine but driven by a few goroutines should
+	// hint the smaller number to keep garbage collection prompt.
+	ConcurrencyHint int
+	// Maintenance selects who performs deferred maintenance work (lazy
+	// variants only): the paper's inline protocol (zero value), the
+	// internal/maintain background helper pool, or both.
+	Maintenance MaintenancePolicy
+	// MaintHelpers sizes the background helper pool; 0 uses one helper per
+	// socket.
+	MaintHelpers int
+	// MaintQueueCap bounds each stripe's maintenance queue; 0 uses
+	// maintain.DefaultQueueCap.
+	MaintQueueCap int
 	// Recorder, when non-nil, enables the paper's instrumentation.
 	Recorder *stats.Recorder
 	// Tracer, when non-nil, attaches the observability layer: per-stripe
@@ -122,6 +178,9 @@ type Map[K cmp.Ordered, V any] struct {
 	// jumps holds the per-thread published jump-index snapshots consumed by
 	// read-only handles (see reader.go).
 	jumps []atomic.Pointer[jumpIndex[K, V]]
+	// engine is the background maintenance pool, nil under MaintInline or
+	// for non-lazy variants.
+	engine *maintain.Engine[K, V]
 }
 
 // New builds a layered map for the machine's thread count.
@@ -153,9 +212,22 @@ func New[K cmp.Ordered, V any](cfg Config) (*Map[K, V], error) {
 		}
 	}
 
+	if cfg.Maintenance < MaintInline || cfg.Maintenance > MaintHybrid {
+		return nil, fmt.Errorf("core: unknown maintenance policy %d", int(cfg.Maintenance))
+	}
+	if cfg.ConcurrencyHint < 0 {
+		return nil, fmt.Errorf("core: negative ConcurrencyHint %d", cfg.ConcurrencyHint)
+	}
 	commission := cfg.CommissionPeriod
 	if cfg.Kind.lazy() && commission == 0 {
-		commission = skipgraph.DefaultCommissionPeriod(threads)
+		// Derive from the *effective* concurrency: a map sized for the whole
+		// machine but driven by fewer goroutines keeps the shorter revival
+		// window that matches its real contention.
+		eff := threads
+		if cfg.ConcurrencyHint > 0 && cfg.ConcurrencyHint < eff {
+			eff = cfg.ConcurrencyHint
+		}
+		commission = skipgraph.CommissionPeriodFor(eff, cfg.CommissionPerThread)
 	}
 	sg, err := skipgraph.New[K, V](skipgraph.Config{
 		MaxLevel:            maxLevel,
@@ -200,7 +272,70 @@ func New[K cmp.Ordered, V any](cfg Config) (*Map[K, V], error) {
 			rng:    rand.New(rand.NewSource(cfg.Seed + int64(t)*0x5851F42D4C957F2D + 1)),
 		}
 	}
+
+	if cfg.Kind.lazy() && cfg.Maintenance != MaintInline {
+		helpers := cfg.MaintHelpers
+		if helpers <= 0 {
+			helpers = cfg.Machine.Topology().Sockets()
+		}
+		var recorders []*stats.ThreadRecorder
+		if cfg.Recorder != nil {
+			// One proxy recorder per helper, attributed to a thread on the
+			// helper's socket so maintenance CASes keep their local/remote
+			// classification in the Fig. 6–9 heatmaps.
+			nodes := cfg.Machine.Topology().Nodes()
+			recorders = make([]*stats.ThreadRecorder, helpers)
+			for i := range recorders {
+				recorders[i] = cfg.Recorder.HelperRecorder(proxyThread(cfg.Machine, i%nodes))
+			}
+		}
+		eng, err := maintain.New(maintain.Config[K, V]{
+			SG:         sg,
+			Machine:    cfg.Machine,
+			Helpers:    helpers,
+			QueueCap:   cfg.MaintQueueCap,
+			Commission: commission,
+			Recorders:  recorders,
+			Tracer:     cfg.Tracer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.engine = eng
+		sg.SetHooks(&skipgraph.Hooks[K, V]{
+			EnqueueRetire: func(n *node.Node[K, V], expired bool) bool {
+				return eng.EnqueueRetire(n)
+			},
+			EnqueueRelink: eng.EnqueueRelink,
+			RetireInline:  cfg.Maintenance == MaintHybrid,
+		})
+	}
 	return m, nil
+}
+
+// proxyThread picks the first logical thread pinned to the given NUMA node
+// (falling back to thread 0), used to attribute helper traffic.
+func proxyThread(machine *numa.Machine, numaNode int) int {
+	for t := 0; t < machine.Threads(); t++ {
+		if machine.NodeOf(t) == numaNode {
+			return t
+		}
+	}
+	return 0
+}
+
+// Maintenance exposes the background maintenance engine, or nil when the map
+// runs the paper's inline protocol. For tests, benchmarks, and tooling.
+func (m *Map[K, V]) Maintenance() *maintain.Engine[K, V] { return m.engine }
+
+// Close stops the background maintenance engine, draining its queues, and is
+// required for maps built with a non-inline Maintenance policy (helpers
+// otherwise keep running). The map remains usable after Close: deferred
+// maintenance falls back to the paper's inline protocol. Idempotent.
+func (m *Map[K, V]) Close() {
+	if m.engine != nil {
+		m.engine.Close()
+	}
 }
 
 // Kind returns the variant.
@@ -324,6 +459,15 @@ func (h *Handle[K, V]) getStart(key K) local.Iterator[K, V] {
 			if sn.Inserted() {
 				return it // Node already found fully inserted.
 			}
+			if !sn.ClaimFinish() {
+				// A background helper holds the node's finish claim; two
+				// agents running FinishInsert on the same node is unsafe
+				// (see node.ClaimFinish). Skip it as a seed — it is not yet
+				// fully inserted — and keep walking, leaving the entry for
+				// when the helper finishes.
+				it = it.Prev()
+				continue
+			}
 			if h.m.sg.FinishInsert(sn, h.updateStartFrom(it), func() *node.Node[K, V] {
 				return h.updateStartFrom(it)
 			}, h.res, h.tr) {
@@ -431,6 +575,12 @@ func (h *Handle[K, V]) afterBottomLink(key K, toInsert *node.Node[K, V], it loca
 		// local structure, so no getStart would ever finish them lazily.
 		// Finish eagerly — cheap, since sparse heights are geometric.
 		h.m.sg.FinishInsert(toInsert, h.nodeOf(it), restart, h.res, h.tr)
+	case h.m.engine != nil:
+		// Background maintenance: hand the deferred upper-level linking to
+		// the helper pool. A rejected enqueue (backpressure, closed engine)
+		// just leaves the node for the classic lazy path — a later getStart
+		// claims and finishes it.
+		h.m.engine.EnqueueFinishInsert(toInsert)
 	}
 	if h.m.sg.Sparse() && toInsert.TopLevel() < h.m.sg.MaxLevel() {
 		// Sparse skip graphs keep local structures sparse too: only nodes

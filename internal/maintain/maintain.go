@@ -1,0 +1,524 @@
+// Package maintain is the background maintenance engine: it takes the lazy
+// protocol's deferred structural work — finishing insertions' upper-level
+// links, retiring commission-expired invalid nodes, and physically unlinking
+// observed chains of marked references — off the operation critical path.
+//
+// In the paper all three kinds of work piggyback on searches
+// (internal/skipgraph/search.go), so reader and updater latency pays for
+// maintenance exactly when contention is highest. The engine instead gives
+// every stripe (logical thread) a bounded work queue, keyed by the *owner*
+// of the node needing work, and a small pool of helper goroutines — one per
+// socket by default — drains them. Helpers prefer queues whose owner stripe
+// is pinned to their own socket (so maintenance CASes stay NUMA-local) and
+// steal from remote-socket queues only when local work runs dry.
+//
+// Robustness properties:
+//
+//   - bounded queues with drop-to-inline backpressure: a full queue rejects
+//     the enqueue and the operation falls back to the paper's inline
+//     protocol, so the engine can never fall behind unboundedly;
+//   - per-node deduplication bits (see node.Maint*) keep hot nodes from
+//     flooding queues with duplicate items, and a claim bit guarantees a
+//     node's finishInsert runs under exactly one agent — helper or inline —
+//     never both concurrently;
+//   - the structure clock is injectable (through skipgraph.Config.Clock),
+//     so commission-period behaviour is deterministic under test;
+//   - helpers park when idle and wake on enqueue;
+//   - Close drains outstanding work and stops the pool; work enqueued
+//     concurrently with Close may be dropped, which is safe — every item is
+//     re-discoverable (a later getStart finishes an unfinished insert, a
+//     later search retires an expired node inline) because enqueues on a
+//     closed engine report failure and callers fall back inline.
+package maintain
+
+import (
+	"cmp"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"layeredsg/internal/node"
+	"layeredsg/internal/numa"
+	"layeredsg/internal/obs"
+	"layeredsg/internal/skipgraph"
+	"layeredsg/internal/stats"
+)
+
+// DefaultQueueCap is the per-stripe queue capacity when Config leaves it 0.
+const DefaultQueueCap = 256
+
+// defaultParkInterval bounds how long a helper holding not-yet-actionable
+// retire items sleeps between commission-expiry checks.
+const defaultParkInterval = 200 * time.Microsecond
+
+// Config parameterizes an Engine.
+type Config[K cmp.Ordered, V any] struct {
+	// SG is the shared structure the engine maintains; required.
+	SG *skipgraph.SG[K, V]
+	// Machine supplies stripe count and NUMA placement; required.
+	Machine *numa.Machine
+	// Helpers is the pool size; 0 uses the machine's socket count.
+	Helpers int
+	// QueueCap bounds each stripe's queue; 0 uses DefaultQueueCap.
+	QueueCap int
+	// Commission is the lazy protocol's commission period, used to compute
+	// when enqueued retire items become actionable.
+	Commission time.Duration
+	// Recorders, when non-nil, holds one recorder per helper (from
+	// stats.Recorder.HelperRecorder) so maintenance traffic keeps its
+	// local/remote classification. Missing entries record nothing.
+	Recorders []*stats.ThreadRecorder
+	// Tracer, when non-nil, receives enqueue/drain/steal/drop events and
+	// the queue-depth gauge (internal/obs).
+	Tracer *obs.Tracer
+	// ParkInterval overrides the idle re-check interval for held retire
+	// items (tests); 0 uses the default.
+	ParkInterval time.Duration
+	// Manual starts no helper goroutines: queued work runs only through
+	// Flush and Close. For deterministic tests and schedules.
+	Manual bool
+}
+
+// Engine drains deferred maintenance work on a pool of helper goroutines.
+// All exported methods are safe for concurrent use.
+type Engine[K cmp.Ordered, V any] struct {
+	sg         *skipgraph.SG[K, V]
+	commission int64
+	queues     []queue[K, V]
+	helpers    int
+	// order[h] is helper h's queue scan order: own-socket stripes first.
+	order        [][]int
+	helperNodes  []int
+	trs          []*stats.ThreadRecorder
+	tracer       *obs.Tracer
+	parkInterval time.Duration
+
+	depth    atomic.Int64
+	enqueues atomic.Uint64
+	drains   atomic.Uint64
+	steals   atomic.Uint64
+	drops    atomic.Uint64
+
+	wake   chan struct{}
+	stop   chan struct{}
+	closed atomic.Bool
+	done   sync.WaitGroup
+}
+
+// New builds and starts an engine: queues sized to the machine's threads,
+// helpers running immediately.
+func New[K cmp.Ordered, V any](cfg Config[K, V]) (*Engine[K, V], error) {
+	if cfg.SG == nil {
+		return nil, fmt.Errorf("maintain: Config.SG is required")
+	}
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("maintain: Config.Machine is required")
+	}
+	helpers := cfg.Helpers
+	if helpers <= 0 {
+		helpers = cfg.Machine.Topology().Sockets()
+	}
+	queueCap := cfg.QueueCap
+	if queueCap <= 0 {
+		queueCap = DefaultQueueCap
+	}
+	park := cfg.ParkInterval
+	if park <= 0 {
+		park = defaultParkInterval
+	}
+	threads := cfg.Machine.Threads()
+	nodes := cfg.Machine.Topology().Nodes()
+	e := &Engine[K, V]{
+		sg:           cfg.SG,
+		commission:   int64(cfg.Commission),
+		queues:       make([]queue[K, V], threads),
+		helpers:      helpers,
+		order:        make([][]int, helpers),
+		helperNodes:  make([]int, helpers),
+		trs:          make([]*stats.ThreadRecorder, helpers),
+		tracer:       cfg.Tracer,
+		parkInterval: park,
+		wake:         make(chan struct{}, helpers),
+		stop:         make(chan struct{}),
+	}
+	for t := 0; t < threads; t++ {
+		e.queues[t].buf = make([]item[K, V], queueCap)
+		e.queues[t].numaNode = cfg.Machine.NodeOf(t)
+	}
+	for h := 0; h < helpers; h++ {
+		// Helpers are logically pinned round-robin over sockets; each scans
+		// its own socket's stripes first and steals from the rest.
+		hn := h % nodes
+		e.helperNodes[h] = hn
+		var local, remote []int
+		for t := 0; t < threads; t++ {
+			if e.queues[t].numaNode == hn {
+				local = append(local, t)
+			} else {
+				remote = append(remote, t)
+			}
+		}
+		e.order[h] = append(local, remote...)
+		if h < len(cfg.Recorders) {
+			e.trs[h] = cfg.Recorders[h]
+		}
+	}
+	e.tracer.SetQueueDepth(e.QueueDepth)
+	if !cfg.Manual {
+		e.done.Add(helpers)
+		for h := 0; h < helpers; h++ {
+			go e.run(h)
+		}
+	}
+	return e, nil
+}
+
+// Helpers returns the pool size.
+func (e *Engine[K, V]) Helpers() int { return e.helpers }
+
+// QueueDepth gauges the total number of items currently queued (helper-held
+// retire items waiting out their commission period are not counted).
+func (e *Engine[K, V]) QueueDepth() int64 { return e.depth.Load() }
+
+// Stats is a point-in-time snapshot of the engine's counters.
+type Stats struct {
+	// Enqueues counts accepted work items; Drains counts executed ones.
+	Enqueues uint64
+	Drains   uint64
+	// Steals counts executed items whose owner stripe was pinned to a
+	// different socket than the executing helper (a subset of Drains).
+	Steals uint64
+	// Drops counts enqueues rejected by a full queue (the work fell back to
+	// the inline protocol).
+	Drops uint64
+	// QueueDepth is the current total queue length.
+	QueueDepth int64
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine[K, V]) Stats() Stats {
+	return Stats{
+		Enqueues:   e.enqueues.Load(),
+		Drains:     e.drains.Load(),
+		Steals:     e.steals.Load(),
+		Drops:      e.drops.Load(),
+		QueueDepth: e.depth.Load(),
+	}
+}
+
+// stripeOf keys a node's work to its owner stripe, so socket-local helpers
+// pick it up and the maintenance CAS stays NUMA-local.
+func (e *Engine[K, V]) stripeOf(n *node.Node[K, V]) int {
+	t := int(n.OwnerThread())
+	if t < 0 || t >= len(e.queues) {
+		return 0
+	}
+	return t
+}
+
+// EnqueueFinishInsert hands a bottom-linked node whose upper levels await
+// linking to the engine. Returns false when the caller must keep the work
+// inline (engine closed or queue full).
+func (e *Engine[K, V]) EnqueueFinishInsert(n *node.Node[K, V]) bool {
+	return e.enqueue(item[K, V]{kind: FinishInsertItem, n: n}, node.MaintFinishQueued)
+}
+
+// EnqueueRetire hands an invalid node to the engine, to be retired and
+// unlinked once its commission period expires.
+func (e *Engine[K, V]) EnqueueRetire(n *node.Node[K, V]) bool {
+	return e.enqueue(item[K, V]{kind: RetireItem, n: n, readyAt: n.AllocTS() + e.commission}, node.MaintRetireQueued)
+}
+
+// EnqueueRelink hands the head of an observed marked chain to the engine for
+// off-path physical unlinking.
+func (e *Engine[K, V]) EnqueueRelink(n *node.Node[K, V]) bool {
+	return e.enqueue(item[K, V]{kind: RelinkItem, n: n}, node.MaintRelinkQueued)
+}
+
+func (e *Engine[K, V]) enqueue(it item[K, V], bit uint32) bool {
+	if e.closed.Load() {
+		return false
+	}
+	if !it.n.TrySetMaint(bit) {
+		// Already queued (or, for finish items, already claimed): the work
+		// is accounted for.
+		return true
+	}
+	if !e.queues[e.stripeOf(it.n)].tryPush(it) {
+		// Bounded-queue backpressure: clear the dedup bit so the node can be
+		// re-enqueued later, and tell the caller to fall back inline.
+		it.n.ClearMaint(bit)
+		e.drops.Add(1)
+		e.tracer.RecordMaint(obs.MaintDrop)
+		return false
+	}
+	e.depth.Add(1)
+	e.enqueues.Add(1)
+	e.tracer.RecordMaint(obs.MaintEnqueue)
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// worker is one helper's (or one synchronous drain's) execution context.
+type worker[K cmp.Ordered, V any] struct {
+	e *Engine[K, V]
+	// numaNode is the helper's socket (-1 for synchronous drains, which
+	// never count steals).
+	numaNode int
+	order    []int
+	res      *skipgraph.SearchResult[K, V]
+	tr       *stats.ThreadRecorder
+	// pending holds popped retire items still inside their commission
+	// period, re-checked every park interval.
+	pending []item[K, V]
+}
+
+// run is a helper goroutine's main loop: drain, then park until woken (or
+// until a held retire item may have become actionable).
+func (e *Engine[K, V]) run(h int) {
+	defer e.done.Done()
+	w := &worker[K, V]{
+		e:        e,
+		numaNode: e.helperNodes[h],
+		order:    e.order[h],
+		res:      e.sg.NewSearchResult(),
+		tr:       e.trs[h],
+	}
+	for {
+		worked := w.drainPass(false)
+		if w.drainPending() {
+			worked = true
+		}
+		if worked {
+			continue
+		}
+		if len(w.pending) > 0 {
+			timer := time.NewTimer(e.parkInterval)
+			select {
+			case <-e.stop:
+				timer.Stop()
+				w.finalDrain()
+				return
+			case <-e.wake:
+				timer.Stop()
+			case <-timer.C:
+			}
+		} else {
+			select {
+			case <-e.stop:
+				w.finalDrain()
+				return
+			case <-e.wake:
+			}
+		}
+	}
+}
+
+// drainPass sweeps every queue in the worker's preference order, executing
+// all items found. force resolves in-commission retire items immediately
+// (dropping them) instead of holding them.
+func (w *worker[K, V]) drainPass(force bool) bool {
+	worked := false
+	for _, qi := range w.order {
+		for {
+			it, ok := w.e.queues[qi].pop()
+			if !ok {
+				break
+			}
+			w.e.depth.Add(-1)
+			w.execute(it, w.e.queues[qi].numaNode, force)
+			worked = true
+		}
+	}
+	return worked
+}
+
+// execute runs one work item. ownerNode is the item's queue socket (-1 to
+// skip steal accounting).
+func (w *worker[K, V]) execute(it item[K, V], ownerNode int, force bool) {
+	e := w.e
+	if it.kind == RetireItem && !force {
+		if marked, valid := it.n.RawMarkValid(); !marked && !valid && e.sg.Now() < it.readyAt {
+			// Still in its commission period: hold it locally so a revival
+			// can still happen in place, and re-check after parking.
+			w.pending = append(w.pending, it)
+			return
+		}
+	}
+	e.drains.Add(1)
+	e.tracer.RecordMaint(obs.MaintDrain)
+	if ownerNode >= 0 && w.numaNode >= 0 && ownerNode != w.numaNode {
+		e.steals.Add(1)
+		e.tracer.RecordMaint(obs.MaintSteal)
+	}
+	switch it.kind {
+	case FinishInsertItem:
+		// The claim bit arbitrates against the owning thread's inline
+		// getStart: exactly one agent links the node's upper levels.
+		if it.n.TrySetMaint(node.MaintFinishClaimed) && !it.n.Inserted() {
+			e.sg.FinishInsert(it.n, nil, nil, w.res, w.tr)
+		}
+	case RetireItem:
+		w.executeRetire(it)
+	case RelinkItem:
+		// Clear before the cleanup so a chain re-observed mid-cleanup can
+		// re-enqueue the node.
+		it.n.ClearMaint(node.MaintRelinkQueued)
+		e.sg.CleanupSearch(it.n.Key(), it.n.Vector(), w.res, w.tr)
+	}
+}
+
+// executeRetire resolves a retire item now: revived nodes release their
+// dedup bit, in-commission nodes (only reachable here under force) release
+// it too — the inline protocol will retire them — and expired nodes are
+// retired and physically unlinked. A node found already marked (an inline
+// search retired it first, e.g. when its enqueue raced Close) still gets the
+// cleanup search: the lazy protocol performs no search-time unlinking, so
+// this item is the only agent guaranteed to unlink it.
+func (w *worker[K, V]) executeRetire(it item[K, V]) {
+	e := w.e
+	marked, valid := it.n.RawMarkValid()
+	if !marked {
+		if valid || e.sg.Now() < it.readyAt {
+			it.n.ClearMaint(node.MaintRetireQueued)
+			return
+		}
+		if !e.sg.Retire(it.n, w.tr) {
+			// Lost the race: revived, or concurrently retired. Re-read to
+			// tell the two apart.
+			if _, nowValid := it.n.RawMarkValid(); nowValid {
+				it.n.ClearMaint(node.MaintRetireQueued)
+				return
+			}
+		}
+	}
+	e.sg.CleanupSearch(it.n.Key(), it.n.Vector(), w.res, w.tr)
+}
+
+// drainPending re-checks held retire items against the structure clock.
+func (w *worker[K, V]) drainPending() bool {
+	if len(w.pending) == 0 {
+		return false
+	}
+	e := w.e
+	now := e.sg.Now()
+	worked := false
+	kept := w.pending[:0]
+	for _, it := range w.pending {
+		marked, valid := it.n.RawMarkValid()
+		switch {
+		case valid:
+			// Revived in place — the commission period did its job.
+			it.n.ClearMaint(node.MaintRetireQueued)
+			worked = true
+		case marked || now >= it.readyAt:
+			// Expired, or already retired by someone who cannot unlink it
+			// (an inline hybrid retirement): executeRetire finishes the job.
+			e.drains.Add(1)
+			e.tracer.RecordMaint(obs.MaintDrain)
+			w.executeRetire(it)
+			worked = true
+		default:
+			kept = append(kept, it)
+		}
+	}
+	w.pending = kept
+	return worked
+}
+
+// finalDrain empties the worker's queues and held items on shutdown:
+// finish-insert and relink work completes, expired retires complete, and
+// in-commission retires release their bits for the inline protocol.
+func (w *worker[K, V]) finalDrain() {
+	w.drainPass(true)
+	for _, it := range w.pending {
+		w.e.drains.Add(1)
+		w.e.tracer.RecordMaint(obs.MaintDrain)
+		w.executeRetire(it)
+	}
+	w.pending = nil
+}
+
+// Flush synchronously executes all currently queued work from the calling
+// goroutine — a deterministic alternative to waiting for helpers in tests.
+// Retire items still inside their commission period are requeued rather than
+// held. Returns the number of items executed. Safe concurrently with
+// helpers and operations (the per-node claim/dedup bits arbitrate), but
+// recorded under no thread recorder.
+func (e *Engine[K, V]) Flush() int {
+	w := &worker[K, V]{e: e, numaNode: -1, res: e.sg.NewSearchResult()}
+	executed := 0
+	var requeue []item[K, V]
+	for qi := range e.queues {
+		for {
+			it, ok := e.queues[qi].pop()
+			if !ok {
+				break
+			}
+			e.depth.Add(-1)
+			if it.kind == RetireItem {
+				if marked, valid := it.n.RawMarkValid(); !marked && !valid && e.sg.Now() < it.readyAt {
+					requeue = append(requeue, it)
+					continue
+				}
+			}
+			e.drains.Add(1)
+			e.tracer.RecordMaint(obs.MaintDrain)
+			w.executeItem(it)
+			executed++
+		}
+	}
+	for _, it := range requeue {
+		if e.closed.Load() || !e.queues[e.stripeOf(it.n)].tryPush(it) {
+			it.n.ClearMaint(node.MaintRetireQueued)
+			continue
+		}
+		e.depth.Add(1)
+	}
+	return executed
+}
+
+// executeItem dispatches one item without hold-or-force retire handling
+// (Flush resolved that already).
+func (w *worker[K, V]) executeItem(it item[K, V]) {
+	switch it.kind {
+	case FinishInsertItem:
+		if it.n.TrySetMaint(node.MaintFinishClaimed) && !it.n.Inserted() {
+			w.e.sg.FinishInsert(it.n, nil, nil, w.res, w.tr)
+		}
+	case RetireItem:
+		w.executeRetire(it)
+	case RelinkItem:
+		it.n.ClearMaint(node.MaintRelinkQueued)
+		w.e.sg.CleanupSearch(it.n.Key(), it.n.Vector(), w.res, w.tr)
+	}
+}
+
+// Close stops accepting work, signals the pool, waits for helpers to
+// final-drain and exit, then sweeps once more for items enqueued while the
+// helpers were shutting down. Idempotent; a second Close returns after the
+// first completes its CAS without waiting.
+func (e *Engine[K, V]) Close() {
+	if !e.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(e.stop)
+	e.done.Wait()
+	w := &worker[K, V]{
+		e:        e,
+		numaNode: -1,
+		order:    make([]int, len(e.queues)),
+		res:      e.sg.NewSearchResult(),
+	}
+	for i := range w.order {
+		w.order[i] = i
+	}
+	w.finalDrain()
+}
+
+// Closed reports whether Close has begun.
+func (e *Engine[K, V]) Closed() bool { return e.closed.Load() }

@@ -1,0 +1,101 @@
+package maintain
+
+import (
+	"cmp"
+	"sync"
+
+	"layeredsg/internal/node"
+)
+
+// ItemKind identifies a deferred maintenance work item.
+type ItemKind uint8
+
+const (
+	// FinishInsertItem: a bottom-linked node whose upper levels await
+	// linking (the lazy protocol's deferred finishInsert).
+	FinishInsertItem ItemKind = iota + 1
+	// RetireItem: an invalid node to retire once its commission period
+	// expires, then physically unlink.
+	RetireItem
+	// RelinkItem: the head of an observed chain of marked references to
+	// physically unlink via a cleanup search.
+	RelinkItem
+)
+
+// String implements fmt.Stringer.
+func (k ItemKind) String() string {
+	switch k {
+	case FinishInsertItem:
+		return "finish-insert"
+	case RetireItem:
+		return "retire"
+	case RelinkItem:
+		return "relink"
+	default:
+		return "unknown"
+	}
+}
+
+// item is one unit of deferred work.
+type item[K cmp.Ordered, V any] struct {
+	kind ItemKind
+	n    *node.Node[K, V]
+	// readyAt is the structure-clock instant a RetireItem becomes
+	// actionable (allocation timestamp + commission period).
+	readyAt int64
+}
+
+// queue is one stripe's bounded work queue: a mutex-guarded ring. Producers
+// are the operation threads that observe deferred work on this stripe's
+// nodes (many); consumers are the helper pool (its socket-local helper
+// preferentially, any helper when stealing). The critical sections are a few
+// instructions, so a mutex beats a lock-free MPMC queue here and keeps the
+// drop-to-inline backpressure decision atomic with the push.
+type queue[K cmp.Ordered, V any] struct {
+	mu   sync.Mutex
+	buf  []item[K, V]
+	head int
+	n    int
+	// numaNode is the NUMA node of the stripe that owns this queue; helpers
+	// prefer queues on their own socket.
+	numaNode int
+	// pad keeps adjacent queues' locks out of each other's cache lines.
+	_ [40]byte //nolint:unused
+}
+
+// tryPush appends the item, failing when the queue is full (the caller falls
+// back to the inline protocol).
+func (q *queue[K, V]) tryPush(it item[K, V]) bool {
+	q.mu.Lock()
+	if q.n == len(q.buf) {
+		q.mu.Unlock()
+		return false
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = it
+	q.n++
+	q.mu.Unlock()
+	return true
+}
+
+// pop removes the oldest item, if any.
+func (q *queue[K, V]) pop() (item[K, V], bool) {
+	q.mu.Lock()
+	if q.n == 0 {
+		q.mu.Unlock()
+		return item[K, V]{}, false
+	}
+	it := q.buf[q.head]
+	q.buf[q.head] = item[K, V]{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	q.mu.Unlock()
+	return it, true
+}
+
+// size returns the current queue length.
+func (q *queue[K, V]) size() int {
+	q.mu.Lock()
+	n := q.n
+	q.mu.Unlock()
+	return n
+}

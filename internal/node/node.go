@@ -64,8 +64,29 @@ type Node[K cmp.Ordered, V any] struct {
 
 	inserted atomic.Bool
 
+	// maint packs the background maintenance engine's per-node bookkeeping
+	// bits (see the Maint* constants). They deduplicate queue entries and
+	// arbitrate which agent — the owning thread inline, or a background
+	// helper — runs a node's FinishInsert, so the two never race on the
+	// node's own level references.
+	maint atomic.Uint32
+
 	next []atomicmark.Ref[Node[K, V]]
 }
+
+// Maintenance-state bits, set and cleared through TrySetMaint/ClearMaint.
+const (
+	// MaintFinishQueued: a finishInsert work item for this node is (or was)
+	// in a maintenance queue.
+	MaintFinishQueued uint32 = 1 << iota
+	// MaintFinishClaimed: some agent has won the right to run this node's
+	// FinishInsert; everyone else must leave the node alone.
+	MaintFinishClaimed
+	// MaintRetireQueued: a retire work item for this node is pending.
+	MaintRetireQueued
+	// MaintRelinkQueued: a relink-cleanup work item for this node is pending.
+	MaintRelinkQueued
+)
 
 // Owner describes the first-touch ownership of a node.
 type Owner struct {
@@ -173,6 +194,47 @@ func (n *Node[K, V]) Inserted() bool { return n.inserted.Load() }
 
 // MarkInserted records that all levels have been linked.
 func (n *Node[K, V]) MarkInserted() { n.inserted.Store(true) }
+
+// TrySetMaint atomically sets a maintenance bit, reporting whether this call
+// was the one that set it (false: it was already set).
+func (n *Node[K, V]) TrySetMaint(bit uint32) bool {
+	for {
+		old := n.maint.Load()
+		if old&bit != 0 {
+			return false
+		}
+		if n.maint.CompareAndSwap(old, old|bit) {
+			return true
+		}
+	}
+}
+
+// ClearMaint atomically clears a maintenance bit.
+func (n *Node[K, V]) ClearMaint(bit uint32) {
+	for {
+		old := n.maint.Load()
+		if old&bit == 0 || n.maint.CompareAndSwap(old, old&^bit) {
+			return
+		}
+	}
+}
+
+// MaintHas reports whether a maintenance bit is currently set.
+func (n *Node[K, V]) MaintHas(bit uint32) bool {
+	return n.maint.Load()&bit != 0
+}
+
+// ClaimFinish arbitrates who runs this node's FinishInsert when a background
+// maintenance engine is active. A node never handed to the engine (no
+// MaintFinishQueued bit) is finished by its owner inline, as always;
+// otherwise exactly one agent — the first to set MaintFinishClaimed — wins.
+// Returns true when the caller may (and must) finish the node.
+func (n *Node[K, V]) ClaimFinish() bool {
+	if n.maint.Load()&MaintFinishQueued == 0 {
+		return true
+	}
+	return n.TrySetMaint(MaintFinishClaimed)
+}
 
 // LessThan reports whether the node's key is strictly below key, treating
 // heads as -inf and tails as +inf.

@@ -1,0 +1,91 @@
+package obs
+
+import "fmt"
+
+// MaintKind identifies a background-maintenance engine event (see
+// internal/maintain). Unlike OpKinds these are not operations — they are
+// engine-internal transitions — so they aggregate into plain counters
+// instead of the per-stripe event rings.
+type MaintKind uint8
+
+const (
+	// MaintEnqueue: a deferred work item entered a maintenance queue.
+	MaintEnqueue MaintKind = iota
+	// MaintDrain: a helper executed one work item.
+	MaintDrain
+	// MaintSteal: the executed item came from a stripe on another socket
+	// than the helper's (recorded in addition to MaintDrain).
+	MaintSteal
+	// MaintDrop: a bounded queue was full and the work fell back to the
+	// inline (search-path) protocol.
+	MaintDrop
+
+	nMaintKinds = int(MaintDrop) + 1
+)
+
+// String implements fmt.Stringer.
+func (k MaintKind) String() string {
+	switch k {
+	case MaintEnqueue:
+		return "enqueue"
+	case MaintDrain:
+		return "drain"
+	case MaintSteal:
+		return "steal"
+	case MaintDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("MaintKind(%d)", int(k))
+	}
+}
+
+// RecordMaint counts one maintenance engine event. Like operation tracing it
+// is gated on Enabled, so a disabled tracer costs one load and branch.
+func (t *Tracer) RecordMaint(k MaintKind) {
+	if t == nil || !Enabled.Load() {
+		return
+	}
+	t.maint[k].Add(1)
+}
+
+// SetQueueDepth installs the gauge snapshots read for the maintenance
+// queue-depth figure — typically Engine.QueueDepth.
+func (t *Tracer) SetQueueDepth(f func() int64) {
+	if t == nil {
+		return
+	}
+	t.queueDepth.Store(&f)
+}
+
+// MaintSnapshot summarizes the background maintenance engine's activity.
+type MaintSnapshot struct {
+	// Enqueues, Drains, Steals, and Drops count engine events recorded
+	// while tracing was enabled.
+	Enqueues uint64 `json:"enqueues"`
+	Drains   uint64 `json:"drains"`
+	Steals   uint64 `json:"steals"`
+	Drops    uint64 `json:"drops"`
+	// QueueDepth is the total number of items currently queued across all
+	// stripes (live gauge, independent of Enabled).
+	QueueDepth int64 `json:"queue_depth"`
+}
+
+// maintSnapshot builds the Snapshot section, or nil when the tracer has
+// never seen a maintenance engine.
+func (t *Tracer) maintSnapshot() *MaintSnapshot {
+	depthFn := t.queueDepth.Load()
+	s := MaintSnapshot{
+		Enqueues: t.maint[MaintEnqueue].Load(),
+		Drains:   t.maint[MaintDrain].Load(),
+		Steals:   t.maint[MaintSteal].Load(),
+		Drops:    t.maint[MaintDrop].Load(),
+	}
+	if depthFn == nil {
+		if s.Enqueues == 0 && s.Drains == 0 && s.Drops == 0 {
+			return nil
+		}
+		return &s
+	}
+	s.QueueDepth = (*depthFn)()
+	return &s
+}

@@ -79,6 +79,9 @@ type Snapshot struct {
 	Enabled bool                  `json:"enabled"`
 	Stripes int                   `json:"stripes"`
 	Ops     map[string]OpSnapshot `json:"ops"`
+	// Maintenance summarizes the background maintenance engine, when one is
+	// attached (nil otherwise).
+	Maintenance *MaintSnapshot `json:"maintenance,omitempty"`
 }
 
 // OpSnapshot summarizes one operation kind.
@@ -118,6 +121,7 @@ func (t *Tracer) Snapshot() Snapshot {
 		return s
 	}
 	s.Stripes = t.Stripes()
+	s.Maintenance = t.maintSnapshot()
 	for k := 1; k < nOpKinds; k++ {
 		m := &t.ops[k]
 		count := m.count.Load()
@@ -156,6 +160,13 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 func (s Snapshot) WriteText(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "tracer %s (enabled=%v, stripes=%d)\n", s.Name, s.Enabled, s.Stripes); err != nil {
 		return err
+	}
+	if m := s.Maintenance; m != nil {
+		if _, err := fmt.Fprintf(w,
+			"  maintain enqueues=%d drains=%d steals=%d drops=%d queue_depth=%d\n",
+			m.Enqueues, m.Drains, m.Steals, m.Drops, m.QueueDepth); err != nil {
+			return err
+		}
 	}
 	kinds := make([]string, 0, len(s.Ops))
 	for k := range s.Ops {

@@ -39,6 +39,12 @@ type Tracer struct {
 	levels atomic.Int32
 
 	ops [nOpKinds]opMetrics
+
+	// maint counts background-maintenance engine events (enqueue, drain,
+	// steal, drop-to-inline); queueDepth, when set, gauges the engine's
+	// total queued work for snapshots.
+	maint      [nMaintKinds]atomic.Uint64
+	queueDepth atomic.Pointer[func() int64]
 }
 
 // opMetrics aggregates one operation kind across all stripes. Writers are

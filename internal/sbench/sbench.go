@@ -29,6 +29,7 @@ import (
 
 	"layeredsg/internal/numa"
 	"layeredsg/internal/obs"
+	"layeredsg/internal/stats"
 )
 
 // OpHandle is one thread's view of a concurrent map under test. Handles are
@@ -109,6 +110,11 @@ type Workload struct {
 	// adapter to implement Oversubscribable (confined per-thread handles
 	// cannot be shared between workers).
 	Goroutines int
+	// LatencySample, when positive, wall-clock-times every Nth operation of
+	// each worker into Result.Latency — cheap enough (two clock reads per
+	// sample) to leave on at N ≥ 64 without moving throughput. 0 disables
+	// latency measurement.
+	LatencySample int
 }
 
 // Distribution selects how workers draw keys.
@@ -157,6 +163,9 @@ func (w Workload) Validate() error {
 	if w.Goroutines < 0 {
 		return fmt.Errorf("sbench: Goroutines must be non-negative, got %d", w.Goroutines)
 	}
+	if w.LatencySample < 0 {
+		return fmt.Errorf("sbench: LatencySample must be non-negative, got %d", w.LatencySample)
+	}
 	return nil
 }
 
@@ -171,6 +180,9 @@ type Result struct {
 	OpsPerMs           float64
 	EffectiveUpdatePct float64
 	Elapsed            time.Duration
+	// Latency summarizes the sampled per-operation wall-clock latencies;
+	// zero-valued unless Workload.LatencySample was set.
+	Latency stats.HistogramSnapshot
 }
 
 // Preload inserts PreloadFraction·KeySpace distinct random keys, round-robin
@@ -216,7 +228,11 @@ func Run(machine *numa.Machine, a Adapter, w Workload) (Result, error) {
 		effective atomic.Uint64
 		wg        sync.WaitGroup
 		startGate = make(chan struct{})
+		lat       *stats.Histogram
 	)
+	if w.LatencySample > 0 {
+		lat = new(stats.Histogram)
+	}
 	for t := 0; t < workers; t++ {
 		wg.Add(1)
 		go func(t int) {
@@ -250,6 +266,11 @@ func Run(machine *numa.Machine, a Adapter, w Workload) (Result, error) {
 			)
 			<-startGate
 			for !stop.Load() {
+				var opStart time.Time
+				sampled := lat != nil && ops%uint64(w.LatencySample) == 0
+				if sampled {
+					opStart = time.Now()
+				}
 				if rng.Float64() < w.UpdateRatio {
 					// Synchrobench -f 1: alternate insert/remove of the same
 					// key so effective updates track requested updates.
@@ -268,6 +289,9 @@ func Run(machine *numa.Machine, a Adapter, w Workload) (Result, error) {
 					}
 				} else {
 					h.Contains(nextKey())
+				}
+				if sampled {
+					lat.Record(int64(time.Since(opStart)))
 				}
 				ops++
 				if w.YieldEvery > 0 && ops%uint64(w.YieldEvery) == 0 {
@@ -298,6 +322,9 @@ func Run(machine *numa.Machine, a Adapter, w Workload) (Result, error) {
 	if ops > 0 {
 		res.EffectiveUpdatePct = 100 * float64(effective.Load()) / float64(ops)
 	}
+	if lat != nil {
+		res.Latency = lat.Snapshot()
+	}
 	return res, nil
 }
 
@@ -310,12 +337,16 @@ func Trial(machine *numa.Machine, a Adapter, w Workload) (Result, error) {
 }
 
 // Average runs `runs` independent trials, each on a freshly built adapter,
-// and averages throughput — the paper averages 5 runs of 10 s each.
+// and averages throughput — the paper averages 5 runs of 10 s each. Latency
+// quantiles, when sampled, are averaged across runs weighted by sample count
+// — an approximation (true merging would need the raw histograms), accurate
+// when runs behave alike.
 func Average(machine *numa.Machine, build func() (Adapter, error), w Workload, runs int) (Result, error) {
 	if runs <= 0 {
 		return Result{}, fmt.Errorf("sbench: runs must be positive, got %d", runs)
 	}
 	var sum Result
+	var latSamples float64
 	for i := 0; i < runs; i++ {
 		a, err := build()
 		if err != nil {
@@ -335,8 +366,27 @@ func Average(machine *numa.Machine, build func() (Adapter, error), w Workload, r
 		sum.OpsPerMs += res.OpsPerMs
 		sum.EffectiveUpdatePct += res.EffectiveUpdatePct
 		sum.Elapsed += res.Elapsed
+		if n := float64(res.Latency.Count); n > 0 {
+			sum.Latency.Count += res.Latency.Count
+			sum.Latency.MeanNs += res.Latency.MeanNs * n
+			sum.Latency.P50Ns += int64(float64(res.Latency.P50Ns) * n)
+			sum.Latency.P90Ns += int64(float64(res.Latency.P90Ns) * n)
+			sum.Latency.P99Ns += int64(float64(res.Latency.P99Ns) * n)
+			sum.Latency.P999Ns += int64(float64(res.Latency.P999Ns) * n)
+			if res.Latency.MaxNs > sum.Latency.MaxNs {
+				sum.Latency.MaxNs = res.Latency.MaxNs
+			}
+			latSamples += n
+		}
 	}
 	sum.OpsPerMs /= float64(runs)
 	sum.EffectiveUpdatePct /= float64(runs)
+	if latSamples > 0 {
+		sum.Latency.MeanNs /= latSamples
+		sum.Latency.P50Ns = int64(float64(sum.Latency.P50Ns) / latSamples)
+		sum.Latency.P90Ns = int64(float64(sum.Latency.P90Ns) / latSamples)
+		sum.Latency.P99Ns = int64(float64(sum.Latency.P99Ns) / latSamples)
+		sum.Latency.P999Ns = int64(float64(sum.Latency.P999Ns) / latSamples)
+	}
 	return sum, nil
 }

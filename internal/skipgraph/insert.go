@@ -72,6 +72,14 @@ func (sg *SG[K, V]) FinishInsert(toInsert, start *node.Node[K, V], restart func(
 	}
 	level := 1
 	for level <= toInsert.TopLevel() {
+		if res.Succs[level] == toInsert {
+			// Already linked at this level: the search found the node itself
+			// as the first unmarked node at key. (Defense in depth for the
+			// background maintenance engine's claim protocol — without this
+			// guard a racing finisher could point the node at itself.)
+			level++
+			continue
+		}
 		// Point the inserting node at this level's successor. Raw accessors:
 		// operations on one's own inserting node are excluded from metrics.
 		oldSucc := toInsert.RawNext(level)

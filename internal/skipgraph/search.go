@@ -113,12 +113,16 @@ func (sg *SG[K, V]) LazyRelinkSearch(key K, start *node.Node[K, V], vector uint3
 		res.Preds[level] = previous
 		res.Middles[level] = originalCurrent
 		res.Succs[level] = current
-		if sg.cfg.CleanupDuringSearch && originalCurrent != current {
-			// Relink optimization outside insertions: swing the predecessor
-			// across the whole marked chain. Failure just means someone else
-			// already cleaned up or the predecessor moved on.
-			if previous.CASNext(level, originalCurrent, current, tr) {
-				tr.Relink(chain)
+		if originalCurrent != current {
+			if sg.cfg.CleanupDuringSearch {
+				// Relink optimization outside insertions: swing the predecessor
+				// across the whole marked chain. Failure just means someone else
+				// already cleaned up or the predecessor moved on.
+				if previous.CASNext(level, originalCurrent, current, tr) {
+					tr.Relink(chain)
+				}
+			} else {
+				sg.noteMarkedChain(originalCurrent)
 			}
 		}
 	}
@@ -140,9 +144,13 @@ func (sg *SG[K, V]) RetireSearch(key K, start *node.Node[K, V], vector uint32, t
 		previous = sg.descend(previous, level, vector)
 		prev, originalCurrent, current, chain := sg.scanLevel(key, previous, level, vector, now, tr)
 		previous = prev
-		if sg.cfg.CleanupDuringSearch && originalCurrent != current {
-			if previous.CASNext(level, originalCurrent, current, tr) {
-				tr.Relink(chain)
+		if originalCurrent != current {
+			if sg.cfg.CleanupDuringSearch {
+				if previous.CASNext(level, originalCurrent, current, tr) {
+					tr.Relink(chain)
+				}
+			} else {
+				sg.noteMarkedChain(originalCurrent)
 			}
 		}
 		if current.KeyEquals(key) && !current.Marked(0, tr) {
@@ -173,9 +181,25 @@ func (sg *SG[K, V]) Spray(vector uint32, rng *rand.Rand, width int, tr *stats.Th
 	return previous
 }
 
+// noteMarkedChain hands the head of an observed marked chain to the
+// background maintenance engine, when one is attached. The lazy protocol
+// performs no search-time cleanup itself, so without a background engine
+// marked chains wait for an inserting substitution to bypass them.
+func (sg *SG[K, V]) noteMarkedChain(first *node.Node[K, V]) {
+	if h := sg.hooks; h != nil && h.EnqueueRelink != nil && first.IsData() {
+		h.EnqueueRelink(first)
+	}
+}
+
 // checkRetire is the paper's Alg. 14: during searches on behalf of updates,
 // an unmarked node that is invalid and whose commission period has expired is
 // marked for physical removal. Returns true when this call marked the node.
+//
+// With background-maintenance hooks attached, the node is instead handed to
+// the engine — during the commission period (so retirement happens off-path
+// the moment the period ends, instead of waiting for the next search to
+// stumble over the node) and, unless the hybrid policy keeps inline
+// retirement active, after it as well.
 func (sg *SG[K, V]) checkRetire(n *node.Node[K, V], now int64, tr *stats.ThreadRecorder) bool {
 	if !sg.cfg.Lazy || !n.IsData() {
 		return false
@@ -188,9 +212,49 @@ func (sg *SG[K, V]) checkRetire(n *node.Node[K, V], now int64, tr *stats.ThreadR
 		// Still inside its commission period: physical removal is deferred so
 		// a re-insertion of the key can revive the node in place.
 		tr.Deferral()
+		if h := sg.hooks; h != nil && h.EnqueueRetire != nil {
+			h.EnqueueRetire(n, false)
+		}
 		return false
 	}
+	if h := sg.hooks; h != nil && h.EnqueueRetire != nil {
+		// Only a successful enqueue may suppress inline retirement: a
+		// rejected one (full queue, closed engine) falls back inline, so an
+		// expired node can never become permanent garbage.
+		if h.EnqueueRetire(n, true) && !h.RetireInline {
+			return false
+		}
+	}
 	return sg.Retire(n, tr)
+}
+
+// CleanupSearch descends toward key through the skip list `vector` selects,
+// physically unlinking every chain of marked references it traverses with
+// single relink CASes — LazyRelinkSearch's cleanup behaviour decoupled from
+// Config.CleanupDuringSearch. The background maintenance engine runs it to
+// unlink retired nodes off the critical path; a CAS that fails just means a
+// concurrent inserting substitution or another cleanup already swung the
+// predecessor.
+func (sg *SG[K, V]) CleanupSearch(key K, vector uint32, res *SearchResult[K, V], tr *stats.ThreadRecorder) {
+	var now int64
+	if sg.cfg.Lazy {
+		now = sg.Now()
+	}
+	tr.Search()
+	previous := sg.Head(vector)
+	for level := sg.cfg.MaxLevel; level >= 0; level-- {
+		previous = sg.descend(previous, level, vector)
+		prev, originalCurrent, current, chain := sg.scanLevel(key, previous, level, vector, now, tr)
+		previous = prev
+		res.Preds[level] = previous
+		res.Middles[level] = originalCurrent
+		res.Succs[level] = current
+		if originalCurrent != current {
+			if previous.CASNext(level, originalCurrent, current, tr) {
+				tr.Relink(chain)
+			}
+		}
+	}
 }
 
 // Retire is the paper's Alg. 15: atomically move the node from (unmarked,

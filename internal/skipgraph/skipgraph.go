@@ -65,11 +65,66 @@ type Config struct {
 	Clock func() int64
 }
 
+// Commission-period defaults. The paper's period is proportional to the
+// thread count (350000·T cycles ≈ 117 µs·T at 3 GHz); uncapped, a 96-thread
+// machine would defer every retirement ~9.6 ms, long enough for
+// low-contention runs to accumulate unbounded marked-but-linked garbage.
+const (
+	// DefaultCommissionPerThread is the per-thread constant of the default
+	// commission period, overridable via core.Config.CommissionPerThread.
+	DefaultCommissionPerThread = 100 * time.Microsecond
+	// DefaultCommissionCap bounds the proportional-to-T default. Revivals
+	// (the commission period's purpose) cluster within microseconds of the
+	// removal under every workload in the paper's evaluation; deferring
+	// longer only delays garbage collection.
+	DefaultCommissionCap = 2 * time.Millisecond
+)
+
 // DefaultCommissionPeriod returns the paper's commission period scaled to a
 // thread count: proportional to T, tuned so high-contention runs keep
-// retirement rare while low-contention runs do not accumulate garbage.
+// retirement rare while low-contention runs do not accumulate garbage, and
+// capped at DefaultCommissionCap.
 func DefaultCommissionPeriod(threads int) time.Duration {
-	return time.Duration(threads) * 100 * time.Microsecond
+	return CommissionPeriodFor(threads, 0)
+}
+
+// CommissionPeriodFor derives a commission period from an effective thread
+// count and a per-thread constant (0 uses DefaultCommissionPerThread). The
+// result is capped at DefaultCommissionCap; callers that genuinely want a
+// longer period set Config.CommissionPeriod explicitly.
+func CommissionPeriodFor(threads int, perThread time.Duration) time.Duration {
+	if perThread <= 0 {
+		perThread = DefaultCommissionPerThread
+	}
+	p := time.Duration(threads) * perThread
+	if p > DefaultCommissionCap {
+		p = DefaultCommissionCap
+	}
+	if p <= 0 {
+		p = perThread
+	}
+	return p
+}
+
+// Hooks are the background maintenance engine's enqueue callbacks, invoked
+// at the lazy protocol's deferral sites (see internal/maintain). All hooks
+// must be safe for concurrent use; a nil Hooks (the default) keeps every
+// deferral inline, exactly as the paper specifies.
+type Hooks[K cmp.Ordered, V any] struct {
+	// EnqueueRetire hands an invalid node observed by a search to the
+	// engine: during its commission period (expired=false, alongside the
+	// recorded deferral) so retirement happens off-path as soon as the
+	// period ends, and after it (expired=true). Returns whether the node
+	// was accepted (or already queued).
+	EnqueueRetire func(n *node.Node[K, V], expired bool) bool
+	// EnqueueRelink hands the first node of an observed chain of marked
+	// references to the engine for off-path physical unlinking (the lazy
+	// protocol performs no search-time cleanup of its own).
+	EnqueueRelink func(n *node.Node[K, V]) bool
+	// RetireInline keeps search-path retirement active alongside the
+	// enqueue (the hybrid policy). When false, searches only enqueue:
+	// expired invalid nodes are never retired on the critical path.
+	RetireInline bool
 }
 
 // SG is a concurrent skip graph. All methods are safe for concurrent use.
@@ -80,6 +135,9 @@ type SG[K cmp.Ordered, V any] struct {
 	heads   [][]*node.Node[K, V]
 	nextID  atomic.Uint64
 	started time.Time
+	// hooks, when non-nil, routes deferred maintenance to a background
+	// engine. Set once via SetHooks before concurrent use.
+	hooks *Hooks[K, V]
 }
 
 // New builds an empty skip graph.
@@ -116,6 +174,11 @@ func New[K cmp.Ordered, V any](cfg Config) (*SG[K, V], error) {
 	return sg, nil
 }
 
+// SetHooks installs the background maintenance engine's enqueue callbacks.
+// Call before the structure sees concurrent use; hooks are read without
+// synchronization on the search paths.
+func (sg *SG[K, V]) SetHooks(h *Hooks[K, V]) { sg.hooks = h }
+
 // MaxLevel returns the structure height.
 func (sg *SG[K, V]) MaxLevel() int { return sg.cfg.MaxLevel }
 
@@ -124,6 +187,10 @@ func (sg *SG[K, V]) Lazy() bool { return sg.cfg.Lazy }
 
 // Sparse reports whether node heights are geometric.
 func (sg *SG[K, V]) Sparse() bool { return sg.cfg.Sparse }
+
+// CommissionPeriod returns the lazy protocol's commission period (zero for
+// non-lazy structures).
+func (sg *SG[K, V]) CommissionPeriod() time.Duration { return sg.cfg.CommissionPeriod }
 
 // Now returns the structure clock in nanoseconds.
 func (sg *SG[K, V]) Now() int64 { return sg.cfg.Clock() }

@@ -474,7 +474,35 @@ func TestLenAndBottomKeys(t *testing.T) {
 }
 
 func TestDefaultCommissionProportionalToThreads(t *testing.T) {
-	if DefaultCommissionPeriod(96) != 96*DefaultCommissionPeriod(1) {
+	// Proportional to T below the cap...
+	if DefaultCommissionPeriod(8) != 8*DefaultCommissionPeriod(1) {
 		t.Fatal("commission period not proportional to thread count")
+	}
+	// ...but capped: uncapped, 96 threads would defer every retirement
+	// ~9.6 ms, accumulating marked-but-linked garbage far longer than any
+	// revival window needs.
+	if got := DefaultCommissionPeriod(96); got != DefaultCommissionCap {
+		t.Fatalf("96-thread commission %v, want cap %v", got, DefaultCommissionCap)
+	}
+	if DefaultCommissionPeriod(1) != DefaultCommissionPerThread {
+		t.Fatal("single-thread commission not the per-thread constant")
+	}
+}
+
+func TestCommissionPeriodFor(t *testing.T) {
+	// A custom per-thread constant scales and still respects the cap.
+	if got := CommissionPeriodFor(4, 50*time.Microsecond); got != 200*time.Microsecond {
+		t.Fatalf("4×50µs = %v, want 200µs", got)
+	}
+	if got := CommissionPeriodFor(1000, 50*time.Microsecond); got != DefaultCommissionCap {
+		t.Fatalf("1000×50µs = %v, want cap %v", got, DefaultCommissionCap)
+	}
+	// The cap binds even for a single thread; callers wanting a longer
+	// period set Config.CommissionPeriod explicitly.
+	if got := CommissionPeriodFor(1, 5*time.Millisecond); got != DefaultCommissionCap {
+		t.Fatalf("oversized per-thread constant %v, want cap %v", got, DefaultCommissionCap)
+	}
+	if CommissionPeriodFor(0, 0) <= 0 {
+		t.Fatal("zero threads produced a non-positive commission period")
 	}
 }

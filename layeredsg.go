@@ -96,6 +96,25 @@ const (
 	LayeredSL = core.LayeredSL
 )
 
+// MaintenancePolicy selects who performs the lazy variants' deferred
+// maintenance work (finishing insertions, retiring expired nodes, unlinking
+// marked chains); see Config.Maintenance.
+type MaintenancePolicy = core.MaintenancePolicy
+
+// Maintenance policies.
+const (
+	// MaintInline is the paper's protocol: maintenance piggybacks on
+	// searches (the default).
+	MaintInline = core.MaintInline
+	// MaintBackground moves all deferred maintenance to a background helper
+	// pool (one helper per socket by default); searches only enqueue. Maps
+	// and Stores built with it should be Close()d.
+	MaintBackground = core.MaintBackground
+	// MaintHybrid enqueues like MaintBackground but keeps inline expired
+	// retirement active as well.
+	MaintHybrid = core.MaintHybrid
+)
+
 // New builds a layered map.
 func New[K cmp.Ordered, V any](cfg Config) (*Map[K, V], error) {
 	return core.New[K, V](cfg)

@@ -47,6 +47,11 @@ type AdapterOptions struct {
 	Scheme Scheme
 	// CommissionPeriod overrides the lazy variants' commission period.
 	CommissionPeriod time.Duration
+	// Maintenance selects who performs the lazy variants' deferred
+	// maintenance: the paper's inline protocol (zero value), the background
+	// helper pool, or both (see MaintBackground / MaintHybrid). Other
+	// algorithms ignore it.
+	Maintenance MaintenancePolicy
 	// Seed makes structure-internal randomness deterministic.
 	Seed int64
 	// ViaStore drives the algorithm through the goroutine-safe Store facade
@@ -90,6 +95,7 @@ func layeredBuilder(kind core.Kind) algoBuilder {
 			Kind:             kind,
 			Scheme:           o.Scheme,
 			CommissionPeriod: o.CommissionPeriod,
+			Maintenance:      o.Maintenance,
 			Recorder:         o.Recorder,
 			Tracer:           o.Observe,
 			Seed:             o.Seed,
@@ -108,7 +114,7 @@ func layeredBuilder(kind core.Kind) algoBuilder {
 		return &simpleAdapter{
 			name:   kind.String(),
 			handle: func(t int) sbench.OpHandle { return lm.Handle(t) },
-			close:  func() {},
+			close:  lm.Close,
 			tracer: o.Observe,
 		}, nil
 	}
@@ -126,7 +132,7 @@ type storeAdapter struct {
 
 func (a *storeAdapter) Name() string                { return a.name }
 func (a *storeAdapter) Handle(int) sbench.OpHandle  { return &storeOpHandle{st: a.st} }
-func (a *storeAdapter) Close()                      {}
+func (a *storeAdapter) Close()                      { a.st.Close() }
 func (a *storeAdapter) Oversubscribable() bool      { return true }
 func (a *storeAdapter) Store() *Store[int64, int64] { return a.st }
 func (a *storeAdapter) Tracer() *obs.Tracer         { return a.tracer }

@@ -40,6 +40,14 @@ type Store[K cmp.Ordered, V any] struct {
 	hints sync.Pool
 	// next deals initial stripe hints round-robin so cold Ps spread out.
 	next atomic.Uint32
+
+	// closeMu serializes Close calls; closing bounces new leases as soon as
+	// a Close begins; closed marks shutdown complete. closed is only ever
+	// set while Close holds every stripe lock, so a lease that won its
+	// stripe lock before Close can never observe it flip mid-lease.
+	closeMu sync.Mutex
+	closing atomic.Bool
+	closed  atomic.Bool
 }
 
 // storeStripe pairs one confined handle with its lease lock, padded so
@@ -118,6 +126,9 @@ func (s *Store[K, V]) acquire() (int, *stripeHint) {
 // returns the leased stripe and the hint to return on release. ctx carries
 // the caller's pprof labels (nil for none); it is not used for cancellation.
 func (s *Store[K, V]) acquireCtx(ctx context.Context) (int, *stripeHint) {
+	if s.closing.Load() {
+		panic("layeredsg: operation on closed Store")
+	}
 	hint := s.hints.Get().(*stripeHint)
 	n := len(s.stripes)
 	i := hint.idx
@@ -140,8 +151,44 @@ func (s *Store[K, V]) acquireCtx(ctx context.Context) (int, *stripeHint) {
 	}
 	s.lr.Block(i)
 	s.stripes[i].mu.Lock()
+	// The blocking path may have waited out an entire Close (a lease that
+	// won its lock before Close began, by contrast, delays Close instead and
+	// can never observe closed flip: Close sets it only while holding every
+	// stripe lock).
+	if s.closed.Load() {
+		s.stripes[i].mu.Unlock()
+		panic("layeredsg: operation on closed Store")
+	}
 	s.beginLease(i, hint, ctx)
 	return i, hint
+}
+
+// Close shuts the Store down: it stops admitting new leases, waits for every
+// outstanding lease to be released, then closes the underlying map — which
+// drains and stops the background maintenance engine, when the map was built
+// with a non-inline Maintenance policy. Close is idempotent (concurrent
+// calls block until the first completes) and the contract afterwards is
+// strict: any operation, batch, Do, or Acquire on a closed Store panics with
+// "operation on closed Store". Operations concurrent with Close either
+// complete normally (their lease was won first, delaying Close) or panic;
+// none are silently dropped.
+func (s *Store[K, V]) Close() {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed.Load() {
+		return
+	}
+	s.closing.Store(true)
+	// Sweep every stripe lock: returns only once all outstanding leases are
+	// released, and holds the pool exclusively while the map shuts down.
+	for i := range s.stripes {
+		s.stripes[i].mu.Lock()
+	}
+	s.m.Close()
+	s.closed.Store(true)
+	for i := range s.stripes {
+		s.stripes[i].mu.Unlock()
+	}
 }
 
 // beginLease asserts confinement and, while the observability layer is on,
