@@ -9,7 +9,13 @@
 #                   internal/maintain plus the root scenarios that run
 #                   helpers against inline searches (claim arbitration,
 #                   Close-during-drain, scheduled linearizability)
+#   make race-refs — race pass over the node-representation surface: the
+#                   packed/cell torture scenarios and differential fuzz
+#                   seed corpus, plus internal/atomicmark and internal/node
 #   make bench    — the Store-overhead benchmark pair (see EXPERIMENTS.md)
+#   make bench-alloc — the representation benchmarks with -benchmem and
+#                   GODEBUG=gctrace=1, for allocs/op and GC-pause deltas
+#                   (see EXPERIMENTS.md); gctrace logs go to stderr
 #   make fuzz-smoke — 30s of coverage-guided fuzzing per fuzz target (the
 #                   go tool accepts one -fuzz pattern per run, hence one
 #                   invocation each); seed-corpus replay is part of plain `test`
@@ -17,9 +23,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: ci build test vet race race-maintain bench fuzz-smoke fmt
+.PHONY: ci build test vet race race-maintain race-refs bench bench-alloc fuzz-smoke fmt
 
-ci: build test vet race race-maintain
+ci: build test vet race race-maintain race-refs
 
 build:
 	$(GO) build ./...
@@ -37,13 +43,22 @@ race-maintain:
 	$(GO) test -race ./internal/maintain
 	$(GO) test -race -run 'Maint|TestCloseDuringDrain|TestStoreCloseLifecycle|TestHelperVsInline' .
 
+race-refs:
+	$(GO) test -race ./internal/atomicmark ./internal/node
+	$(GO) test -race -run 'TestTorturePackedRefs|FuzzRefRepresentations' .
+
 bench:
 	$(GO) test -run '^$$' -bench 'Store' -benchtime 3x .
+
+bench-alloc:
+	GODEBUG=gctrace=1 $(GO) test -run '^$$' -bench 'RefRepresentation/churn' -benchmem -benchtime 200000x .
+	GODEBUG=gctrace=1 $(GO) test -run '^$$' -bench 'RefRepresentation/trial' -benchmem -benchtime 3x .
 
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSkipGraphOps$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzStoreOps$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzMaintainOps$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzRefRepresentations$$' -fuzztime $(FUZZTIME) .
 
 fmt:
 	gofmt -l .

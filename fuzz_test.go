@@ -254,6 +254,89 @@ func replayMaintainOps(t *testing.T, kind core.Kind, policy core.MaintenancePoli
 	checkModel(t, kind, m, model)
 }
 
+// FuzzRefRepresentations is the differential target for the two node
+// representations: every sequence runs once against a map forced onto the
+// arena-backed packed level references and once against the cell-based
+// representation, with identical deterministic configs. Each operation's
+// result must match between the twins, and the final key sets must be
+// identical — any divergence is a packed-representation bug (or a cell one).
+func FuzzRefRepresentations(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 3, 1, 2, 1, 3, 1, 0, 1, 3, 1})
+	f.Add([]byte{0, 10, 0, 20, 0, 30, 4, 0, 2, 20, 4, 0, 0, 20, 5, 0})
+	f.Add([]byte{0, 5, 2, 5, 0, 5, 2, 5, 0, 5, 3, 5, 6, 0, 7, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, kind := range fuzzKinds {
+			replayDifferentialOps(t, kind, data)
+		}
+	})
+}
+
+func replayDifferentialOps(t *testing.T, kind core.Kind, data []byte) {
+	machine := fuzzMachine(t)
+	newMap := func(refs core.RefMode) *Map[int64, int64] {
+		cfg := fuzzConfig(machine, kind)
+		cfg.Refs = refs
+		m, err := New[int64, int64](cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	packed := newMap(core.RefPacked)
+	cells := newMap(core.RefCells)
+	if !packed.PackedRefs() || cells.PackedRefs() {
+		t.Fatal("RefMode did not select the requested representations")
+	}
+	model := map[int64]int64{}
+	thread := 0
+	hp, hc := packed.Handle(0), cells.Handle(0)
+	for i := 0; i+1 < len(data); i += 2 {
+		sel, kb := data[i], data[i+1]
+		key := int64(kb) % fuzzKeySpace
+		_, present := model[key]
+		switch sel % 6 {
+		case 0, 1:
+			gp, gc := hp.Insert(key, key), hc.Insert(key, key)
+			if gp != gc || gp != !present {
+				t.Fatalf("%v op %d: Insert(%d) packed=%v cells=%v present=%v", kind, i/2, key, gp, gc, present)
+			}
+			model[key] = key
+		case 2:
+			gp, gc := hp.Remove(key), hc.Remove(key)
+			if gp != gc || gp != present {
+				t.Fatalf("%v op %d: Remove(%d) packed=%v cells=%v present=%v", kind, i/2, key, gp, gc, present)
+			}
+			delete(model, key)
+		case 3:
+			vp, okp := hp.Get(key)
+			vc, okc := hc.Get(key)
+			if okp != okc || vp != vc || okp != present || (okp && vp != key) {
+				t.Fatalf("%v op %d: Get(%d) packed=(%d,%v) cells=(%d,%v) present=%v", kind, i/2, key, vp, okp, vc, okc, present)
+			}
+		case 4:
+			gp, gc := hp.Contains(key), hc.Contains(key)
+			if gp != gc || gp != present {
+				t.Fatalf("%v op %d: Contains(%d) packed=%v cells=%v present=%v", kind, i/2, key, gp, gc, present)
+			}
+		case 5:
+			// Rotate both twins to the next confined handle together.
+			thread = (thread + 1) % packed.Threads()
+			hp, hc = packed.Handle(thread), cells.Handle(thread)
+		}
+	}
+	checkModel(t, kind, packed, model)
+	checkModel(t, kind, cells, model)
+	pk, ck := packed.Keys(), cells.Keys()
+	if len(pk) != len(ck) {
+		t.Fatalf("%v: packed keys %v != cell keys %v", kind, pk, ck)
+	}
+	for i := range pk {
+		if pk[i] != ck[i] {
+			t.Fatalf("%v: packed keys %v != cell keys %v", kind, pk, ck)
+		}
+	}
+}
+
 func FuzzStoreOps(f *testing.F) {
 	f.Add([]byte{0, 1, 0, 2, 3, 1, 2, 1, 5, 9, 6, 3, 7, 3})
 	f.Add([]byte{0, 4, 0, 5, 0, 6, 4, 4, 2, 5, 4, 0, 5, 2})

@@ -1,0 +1,189 @@
+package atomicmark
+
+import "sync/atomic"
+
+// PackedRef is the arena-backed sibling of Ref: the same atomic
+// (successor, marked, valid) triple, but with the successor expressed as a
+// 32-bit arena index instead of a pointer, so the whole triple fits one
+// machine word:
+//
+//	bits 2..33  successor's arena index (0 = nil)
+//	bit  1      valid
+//	bit  0      marked
+//
+// Every mutation is a single CAS on the word — no cell allocation, no
+// pointer-bit stealing (the word is a plain integer the GC never scans), and
+// the same immutability discipline as Ref: a marked reference is never
+// mutated again, which keeps the relink optimization sound (Appendix C of
+// the paper).
+//
+// PackedRef deliberately knows nothing about arenas: it speaks indices, and
+// the owner (internal/node) translates between indices and *Node via its
+// Arena. The zero value is a nil, unmarked, *invalid* reference, mirroring
+// Ref's zero value.
+type PackedRef struct {
+	w atomic.Uint64
+}
+
+// PackedSnapshot is an immutable view of a PackedRef, mirroring Snapshot in
+// index space.
+type PackedSnapshot struct {
+	// Index is the successor's arena index; 0 means nil.
+	Index uint32
+	// Marked reports whether the reference is marked for physical removal.
+	Marked bool
+	// Valid reports whether the reference is logically valid.
+	Valid bool
+}
+
+const (
+	packedMarkedBit  = 1 << 0
+	packedValidBit   = 1 << 1
+	packedIndexShift = 2
+)
+
+// PackWord encodes a (index, marked, valid) triple into its word form.
+// Exported for tests and tooling that assert on raw layouts.
+func PackWord(index uint32, marked, valid bool) uint64 {
+	w := uint64(index) << packedIndexShift
+	if marked {
+		w |= packedMarkedBit
+	}
+	if valid {
+		w |= packedValidBit
+	}
+	return w
+}
+
+// UnpackWord decodes a word back into its triple.
+func UnpackWord(w uint64) PackedSnapshot {
+	return PackedSnapshot{
+		Index:  uint32(w >> packedIndexShift),
+		Marked: w&packedMarkedBit != 0,
+		Valid:  w&packedValidBit != 0,
+	}
+}
+
+// Init sets the initial state. Intended for node constructors, before the
+// node is published.
+func (r *PackedRef) Init(index uint32, marked, valid bool) {
+	r.w.Store(PackWord(index, marked, valid))
+}
+
+// Load returns an atomic snapshot of the reference.
+func (r *PackedRef) Load() PackedSnapshot {
+	return UnpackWord(r.w.Load())
+}
+
+// Index returns the successor index (0 = nil).
+func (r *PackedRef) Index() uint32 {
+	return uint32(r.w.Load() >> packedIndexShift)
+}
+
+// Marked returns the marked bit.
+func (r *PackedRef) Marked() bool {
+	return r.w.Load()&packedMarkedBit != 0
+}
+
+// Valid returns the valid bit.
+func (r *PackedRef) Valid() bool {
+	return r.w.Load()&packedValidBit != 0
+}
+
+// MarkValid returns the (marked, valid) pair atomically.
+func (r *PackedRef) MarkValid() (marked, valid bool) {
+	w := r.w.Load()
+	return w&packedMarkedBit != 0, w&packedValidBit != 0
+}
+
+// Store unconditionally replaces the reference. Use only before the owning
+// node is published, or in sequential contexts.
+func (r *PackedRef) Store(index uint32, marked, valid bool) {
+	r.w.Store(PackWord(index, marked, valid))
+}
+
+// CASNext replaces the successor index from exp to next, preserving the
+// current valid bit, provided the reference is currently unmarked and its
+// successor is exp. It fails if the reference is marked — marked references
+// are immutable. Returns true on success.
+func (r *PackedRef) CASNext(exp, next uint32) bool {
+	for {
+		w := r.w.Load()
+		if w&packedMarkedBit != 0 || uint32(w>>packedIndexShift) != exp {
+			return false
+		}
+		if r.w.CompareAndSwap(w, uint64(next)<<packedIndexShift|w&packedValidBit) {
+			return true
+		}
+	}
+}
+
+// CASMark flips the marked bit from expMarked to newMarked, preserving the
+// index and valid bit. Returns true on success; false if the current mark
+// differs from expMarked.
+func (r *PackedRef) CASMark(expMarked, newMarked bool) bool {
+	for {
+		w := r.w.Load()
+		if w&packedMarkedBit != 0 != expMarked {
+			return false
+		}
+		want := w &^ packedMarkedBit
+		if newMarked {
+			want = w | packedMarkedBit
+		}
+		if r.w.CompareAndSwap(w, want) {
+			return true
+		}
+	}
+}
+
+// CASValid flips the valid bit from expValid to newValid, preserving index
+// and mark. Returns true on success.
+func (r *PackedRef) CASValid(expValid, newValid bool) bool {
+	for {
+		w := r.w.Load()
+		if w&packedValidBit != 0 != expValid {
+			return false
+		}
+		want := w &^ packedValidBit
+		if newValid {
+			want = w | packedValidBit
+		}
+		if r.w.CompareAndSwap(w, want) {
+			return true
+		}
+	}
+}
+
+// CASMarkValid atomically replaces the (marked, valid) pair, preserving the
+// index, provided the current pair equals (expMarked, expValid). This is the
+// paper's casMarkValid: the linearization point of lazy insert and remove.
+func (r *PackedRef) CASMarkValid(expMarked, expValid, newMarked, newValid bool) bool {
+	for {
+		w := r.w.Load()
+		if w&packedMarkedBit != 0 != expMarked || w&packedValidBit != 0 != expValid {
+			return false
+		}
+		want := w >> packedIndexShift << packedIndexShift
+		if newMarked {
+			want |= packedMarkedBit
+		}
+		if newValid {
+			want |= packedValidBit
+		}
+		if r.w.CompareAndSwap(w, want) {
+			return true
+		}
+	}
+}
+
+// CASSnapshot performs a full-triple CAS: it succeeds only if the current
+// state equals exp in all three components, installing want. The relink
+// optimization uses it to swing a predecessor across a chain of marked
+// references while asserting the predecessor itself is still unmarked.
+func (r *PackedRef) CASSnapshot(exp, want PackedSnapshot) bool {
+	return r.w.CompareAndSwap(
+		PackWord(exp.Index, exp.Marked, exp.Valid),
+		PackWord(want.Index, want.Marked, want.Valid),
+	)
+}

@@ -1,0 +1,190 @@
+package atomicmark
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackedZeroValue(t *testing.T) {
+	var r PackedRef
+	snap := r.Load()
+	if snap.Index != 0 || snap.Marked || snap.Valid {
+		t.Fatalf("zero value = %+v, want 0/unmarked/invalid", snap)
+	}
+}
+
+func TestPackWordRoundTrip(t *testing.T) {
+	f := func(index uint32, marked, valid bool) bool {
+		got := UnpackWord(PackWord(index, marked, valid))
+		return got == PackedSnapshot{Index: index, Marked: marked, Valid: valid}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackWordLayout(t *testing.T) {
+	// The layout is load-bearing for anyone reading raw words out of dumps:
+	// bit 0 marked, bit 1 valid, index from bit 2.
+	if w := PackWord(1, false, false); w != 1<<2 {
+		t.Fatalf("index bit position: %#x", w)
+	}
+	if w := PackWord(0, true, false); w != 1 {
+		t.Fatalf("marked bit position: %#x", w)
+	}
+	if w := PackWord(0, false, true); w != 2 {
+		t.Fatalf("valid bit position: %#x", w)
+	}
+	if w := PackWord(^uint32(0), true, true); w != (1<<32-1)<<2|3 {
+		t.Fatalf("max index: %#x", w)
+	}
+}
+
+func TestPackedCASNext(t *testing.T) {
+	var r PackedRef
+	r.Init(1, false, true)
+	if !r.CASNext(1, 2) {
+		t.Fatal("CASNext with correct expectation failed")
+	}
+	if r.CASNext(1, 3) {
+		t.Fatal("CASNext with stale expectation succeeded")
+	}
+	if got := r.Load(); got.Index != 2 || got.Marked || !got.Valid {
+		t.Fatalf("state after CASNext = %+v", got)
+	}
+	// A marked reference is frozen.
+	if !r.CASMark(false, true) {
+		t.Fatal("CASMark failed")
+	}
+	if r.CASNext(2, 4) {
+		t.Fatal("CASNext mutated a marked reference")
+	}
+}
+
+func TestPackedCASMarkValid(t *testing.T) {
+	var r PackedRef
+	r.Init(7, false, true)
+	// The lazy remove/revive/retire sequence.
+	if !r.CASMarkValid(false, true, false, false) {
+		t.Fatal("invalidate failed")
+	}
+	if !r.CASMarkValid(false, false, false, true) {
+		t.Fatal("revive failed")
+	}
+	if !r.CASMarkValid(false, true, false, false) {
+		t.Fatal("re-invalidate failed")
+	}
+	if !r.CASMarkValid(false, false, true, false) {
+		t.Fatal("retire failed")
+	}
+	if r.CASMarkValid(false, false, false, true) {
+		t.Fatal("revive of a marked reference succeeded")
+	}
+	if got := r.Load(); got.Index != 7 || !got.Marked || got.Valid {
+		t.Fatalf("final state = %+v", got)
+	}
+}
+
+func TestPackedCASSnapshot(t *testing.T) {
+	var r PackedRef
+	r.Init(3, false, true)
+	exp := PackedSnapshot{Index: 3, Marked: false, Valid: true}
+	want := PackedSnapshot{Index: 9, Marked: false, Valid: true}
+	if !r.CASSnapshot(exp, want) {
+		t.Fatal("CASSnapshot with exact state failed")
+	}
+	if r.CASSnapshot(exp, want) {
+		t.Fatal("CASSnapshot with stale state succeeded")
+	}
+	if got := r.Load(); got != want {
+		t.Fatalf("state = %+v want %+v", got, want)
+	}
+}
+
+// TestPackedMarkWins mirrors the cell-based representation's mark/CASNext
+// race test: concurrent marking and successor swings never resurrect a
+// successor past a mark.
+func TestPackedMarkWins(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		var r PackedRef
+		r.Init(1, false, true)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			r.CASMark(false, true)
+		}()
+		go func() {
+			defer wg.Done()
+			r.CASNext(1, 2)
+		}()
+		wg.Wait()
+		got := r.Load()
+		if !got.Marked {
+			t.Fatal("mark lost")
+		}
+		if got.Index != 1 && got.Index != 2 {
+			t.Fatalf("index = %d", got.Index)
+		}
+	}
+}
+
+// TestPackedVsCellDifferential drives the same randomized operation sequence
+// through a PackedRef and a cell-based Ref and asserts snapshot-for-snapshot
+// equality after every step. Successors are drawn from a small pool mapped
+// 1:1 between index space (i+1) and pointer space (&pool[i]).
+func TestPackedVsCellDifferential(t *testing.T) {
+	pool := make([]item, 8)
+	toPtr := func(idx uint32) *item {
+		if idx == 0 {
+			return nil
+		}
+		return &pool[idx-1]
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		var p PackedRef
+		var c Ref[item]
+		p.Init(0, false, true)
+		c.Init(nil, false, true)
+		for step := 0; step < 300; step++ {
+			a := uint32(rng.Intn(len(pool) + 1)) // 0 = nil
+			b := uint32(rng.Intn(len(pool) + 1))
+			m1, m2 := rng.Intn(2) == 0, rng.Intn(2) == 0
+			v1, v2 := rng.Intn(2) == 0, rng.Intn(2) == 0
+			var okP, okC bool
+			switch rng.Intn(5) {
+			case 0:
+				okP = p.CASNext(a, b)
+				okC = c.CASNext(toPtr(a), toPtr(b))
+			case 1:
+				okP = p.CASMark(m1, m2)
+				okC = c.CASMark(m1, m2)
+			case 2:
+				okP = p.CASValid(v1, v2)
+				okC = c.CASValid(v1, v2)
+			case 3:
+				okP = p.CASMarkValid(m1, v1, m2, v2)
+				okC = c.CASMarkValid(m1, v1, m2, v2)
+			case 4:
+				okP = p.CASSnapshot(
+					PackedSnapshot{Index: a, Marked: m1, Valid: v1},
+					PackedSnapshot{Index: b, Marked: m2, Valid: v2},
+				)
+				okC = c.CASSnapshot(
+					Snapshot[item]{Next: toPtr(a), Marked: m1, Valid: v1},
+					Snapshot[item]{Next: toPtr(b), Marked: m2, Valid: v2},
+				)
+			}
+			if okP != okC {
+				t.Fatalf("trial %d step %d: packed ok=%v cell ok=%v", trial, step, okP, okC)
+			}
+			ps, cs := p.Load(), c.Load()
+			if toPtr(ps.Index) != cs.Next || ps.Marked != cs.Marked || ps.Valid != cs.Valid {
+				t.Fatalf("trial %d step %d: packed %+v cell %+v", trial, step, ps, cs)
+			}
+		}
+	}
+}

@@ -120,6 +120,41 @@ func (p MaintenancePolicy) String() string {
 	}
 }
 
+// RefMode selects the node / level-reference representation of the shared
+// structure (see DESIGN.md, "Memory layout").
+type RefMode int
+
+const (
+	// RefAuto (the zero value) uses the arena-backed packed representation
+	// whenever the structure's height fits it, falling back to cell-based
+	// references otherwise. Layered-map heights are ceil(log2 T) - 1, so on
+	// any machine up to 256 threads RefAuto means packed.
+	RefAuto RefMode = iota
+	// RefCells forces the cell-based representation: level references are
+	// atomic pointers to immutable heap cells, one allocation per link
+	// mutation. Kept for differential testing and as the fallback for
+	// structures taller than packed refs support.
+	RefCells
+	// RefPacked forces the arena-backed packed representation and makes
+	// construction fail if the structure's height exceeds
+	// node.MaxArenaLevels - 1.
+	RefPacked
+)
+
+// String implements fmt.Stringer.
+func (r RefMode) String() string {
+	switch r {
+	case RefAuto:
+		return "auto"
+	case RefCells:
+		return "cells"
+	case RefPacked:
+		return "packed"
+	default:
+		return fmt.Sprintf("RefMode(%d)", int(r))
+	}
+}
+
 // Config parameterizes a layered map.
 type Config struct {
 	// Machine supplies the thread count, pinning, and topology; required.
@@ -162,6 +197,9 @@ type Config struct {
 	// counter deltas from the recorder, so setting Tracer without Recorder
 	// creates a recorder implicitly.
 	Tracer *obs.Tracer
+	// Refs selects the node representation: RefAuto (packed wherever the
+	// height fits — the default and the fast path), RefCells, or RefPacked.
+	Refs RefMode
 	// Clock overrides the structure clock (tests); nil uses real time.
 	Clock func() int64
 	// Seed seeds the per-thread RNGs drawing sparse node heights.
@@ -229,6 +267,19 @@ func New[K cmp.Ordered, V any](cfg Config) (*Map[K, V], error) {
 		}
 		commission = skipgraph.CommissionPeriodFor(eff, cfg.CommissionPerThread)
 	}
+	var packed bool
+	switch cfg.Refs {
+	case RefAuto:
+		packed = maxLevel < node.MaxArenaLevels
+	case RefCells:
+	case RefPacked:
+		if maxLevel >= node.MaxArenaLevels {
+			return nil, fmt.Errorf("core: RefPacked requires MaxLevel < %d, got %d", node.MaxArenaLevels, maxLevel)
+		}
+		packed = true
+	default:
+		return nil, fmt.Errorf("core: unknown ref mode %d", int(cfg.Refs))
+	}
 	sg, err := skipgraph.New[K, V](skipgraph.Config{
 		MaxLevel:            maxLevel,
 		Lazy:                cfg.Kind.lazy(),
@@ -236,6 +287,8 @@ func New[K cmp.Ordered, V any](cfg Config) (*Map[K, V], error) {
 		CleanupDuringSearch: !cfg.Kind.lazy(),
 		CommissionPeriod:    commission,
 		Clock:               cfg.Clock,
+		PackedRefs:          packed,
+		ArenaShards:         cfg.Machine.Topology().Nodes(),
 	})
 	if err != nil {
 		return nil, err
@@ -245,6 +298,21 @@ func New[K cmp.Ordered, V any](cfg Config) (*Map[K, V], error) {
 		cfg.Tracer.Attach(threads, maxLevel+1)
 		if cfg.Recorder == nil {
 			cfg.Recorder = stats.NewRecorder(cfg.Machine, nil)
+		}
+		if sg.PackedRefs() {
+			cfg.Tracer.SetArenaStats(func() obs.ArenaSnapshot {
+				st := sg.ArenaStats()
+				out := obs.ArenaSnapshot{
+					Shards:        make([]obs.ArenaShardSnapshot, len(st.Shards)),
+					Chunks:        st.Chunks,
+					SlotsUsed:     st.SlotsUsed,
+					SlotsReserved: st.SlotsReserved,
+				}
+				for i, sh := range st.Shards {
+					out.Shards[i] = obs.ArenaShardSnapshot{Chunks: sh.Chunks, SlotsUsed: sh.SlotsUsed, SlotsReserved: sh.SlotsReserved}
+				}
+				return out
+			})
 		}
 	}
 
@@ -354,6 +422,10 @@ func (m *Map[K, V]) Vector(thread int) uint32 { return m.vectors[thread] }
 
 // MaxLevel returns the shared structure's height.
 func (m *Map[K, V]) MaxLevel() int { return m.sg.MaxLevel() }
+
+// PackedRefs reports whether the shared structure uses the arena-backed
+// packed node representation (see Config.Refs).
+func (m *Map[K, V]) PackedRefs() bool { return m.sg.PackedRefs() }
 
 // Len counts logically present keys. O(n); for tests and tooling.
 func (m *Map[K, V]) Len() int { return m.sg.Len() }

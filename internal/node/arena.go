@@ -1,0 +1,251 @@
+// Arena-backed node allocation: per-socket chunked slabs addressed by 32-bit
+// indices, the memory layout behind the packed level-reference representation
+// (see internal/atomicmark.PackedRef).
+//
+// Layout of an arena index (32 bits, 0 reserved as nil):
+//
+//	[ shard:4 | chunk:19 | slot:9 ]
+//
+// Each shard is a socket-local slab: nodes allocated by threads pinned to one
+// NUMA node come from that node's shard, so a node's backing memory lands on
+// its owner's socket under first-touch allocation — the same locality story
+// the paper tells for its C++ allocator. A shard grows in chunks of
+// arenaChunkSlots slots; each slot inlines the node and a fixed-size array of
+// MaxArenaLevels packed level words, so a node and its level references share
+// one contiguous block (no per-node `next` slice, no per-mutation cell).
+//
+// Slots are allocated with a per-shard atomic bump cursor and never freed:
+// the arena keeps every node it ever handed out alive until the whole
+// structure is dropped. Retired nodes therefore cost arena slots, not GC
+// work — the deliberate trade that makes every link mutation allocation-free.
+// Capacity is 2^28 slots per shard; exhaustion panics (it means ~268M
+// insertions through one socket's threads on a single structure).
+package node
+
+import (
+	"cmp"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"layeredsg/internal/atomicmark"
+)
+
+const (
+	// MaxArenaLevels is the per-slot level-reference capacity: arena-backed
+	// structures support MaxLevel <= MaxArenaLevels-1. The paper's height is
+	// ceil(log2 T)-1, so 8 levels cover machines up to 256 hardware threads;
+	// taller ablation structures (skip-list baselines built with explicit
+	// heights) keep the cell-based representation.
+	MaxArenaLevels = 8
+
+	arenaSlotBits  = 9 // 512 slots per chunk
+	arenaChunkBits = 19
+	arenaShardBits = 4
+
+	arenaChunkSlots = 1 << arenaSlotBits
+	arenaPosBits    = arenaSlotBits + arenaChunkBits
+	arenaPosMask    = 1<<arenaPosBits - 1
+
+	// MaxArenaShards bounds the shard (socket) count an arena supports.
+	MaxArenaShards = 1 << arenaShardBits
+)
+
+// arenaSlot inlines one node together with its packed level words, so the
+// references live adjacent to the node they belong to instead of behind a
+// separately-allocated slice.
+type arenaSlot[K cmp.Ordered, V any] struct {
+	n Node[K, V]
+	w [MaxArenaLevels]atomicmark.PackedRef
+}
+
+// arenaShard is one socket's slab. The bump cursor and the published chunk
+// table are padded away from neighbouring shards so concurrent allocation on
+// different sockets never false-shares.
+type arenaShard[K cmp.Ordered, V any] struct {
+	_ [64]byte //nolint:unused
+
+	// next is the bump cursor: the number of slots ever allocated from this
+	// shard (slot addresses are monotonic, never reused).
+	next atomic.Uint64
+	// chunks is the published chunk table. Readers resolve indices through
+	// an atomic load; growth replaces the whole table under mu.
+	chunks atomic.Pointer[[][]arenaSlot[K, V]]
+	mu     sync.Mutex
+
+	_ [64]byte //nolint:unused
+}
+
+// Arena is a chunked node allocator with one shard per socket. All methods
+// are safe for concurrent use. An Arena serves exactly one shared structure:
+// indices are meaningful only within the arena that issued them.
+type Arena[K cmp.Ordered, V any] struct {
+	shards []arenaShard[K, V]
+}
+
+// NewArena builds an arena with one shard per socket (clamped to
+// [1, MaxArenaShards]).
+func NewArena[K cmp.Ordered, V any](shards int) *Arena[K, V] {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > MaxArenaShards {
+		shards = MaxArenaShards
+	}
+	a := &Arena[K, V]{shards: make([]arenaShard[K, V], shards)}
+	// Burn shard 0's slot 0 so no node ever receives index 0, which packed
+	// references reserve as nil.
+	a.shards[0].next.Store(1)
+	return a
+}
+
+// Shards returns the shard count.
+func (a *Arena[K, V]) Shards() int { return len(a.shards) }
+
+// alloc carves one slot out of the given shard (clamped into range, so owner
+// NUMA nodes beyond the shard count still allocate, just without locality)
+// and wires the node's arena fields.
+func (a *Arena[K, V]) alloc(shard int) *Node[K, V] {
+	if shard < 0 || shard >= len(a.shards) {
+		shard = 0
+	}
+	s := &a.shards[shard]
+	pos := s.next.Add(1) - 1
+	if pos > arenaPosMask {
+		panic(fmt.Sprintf("node: arena shard %d exhausted (2^%d slots)", shard, arenaPosBits))
+	}
+	chunk := pos >> arenaSlotBits
+	chunks := s.chunks.Load()
+	for chunks == nil || uint64(len(*chunks)) <= chunk {
+		s.grow(chunk)
+		chunks = s.chunks.Load()
+	}
+	sl := &(*chunks)[chunk][pos&(arenaChunkSlots-1)]
+	sl.n.ar = a
+	sl.n.self = uint32(shard)<<arenaPosBits | uint32(pos)
+	sl.n.pw = &sl.w
+	return &sl.n
+}
+
+// grow extends the chunk table far enough to cover chunk, publishing the new
+// table atomically. Readers holding the old table stay correct: chunk slices
+// themselves never move.
+func (s *arenaShard[K, V]) grow(chunk uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var chunks [][]arenaSlot[K, V]
+	if cur := s.chunks.Load(); cur != nil {
+		if uint64(len(*cur)) > chunk {
+			return // Another allocator grew past us while we queued on mu.
+		}
+		chunks = append(chunks, *cur...)
+	}
+	for uint64(len(chunks)) <= chunk {
+		chunks = append(chunks, make([]arenaSlot[K, V], arenaChunkSlots))
+	}
+	s.chunks.Store(&chunks)
+}
+
+// At resolves an arena index to its node; 0 resolves to nil. The index must
+// have been issued by this arena.
+func (a *Arena[K, V]) At(idx uint32) *Node[K, V] {
+	if idx == 0 {
+		return nil
+	}
+	pos := idx & arenaPosMask
+	chunks := *a.shards[idx>>arenaPosBits].chunks.Load()
+	return &chunks[pos>>arenaSlotBits][pos&(arenaChunkSlots-1)].n
+}
+
+// NewData allocates an arena-backed data node on the owner's shard,
+// participating in levels 0..topLevel with all references nil, unmarked and
+// valid (the lazy protocol's required initial state). topLevel must be below
+// MaxArenaLevels.
+func (a *Arena[K, V]) NewData(key K, value V, topLevel int, vector uint32, owner Owner, id uint64, allocTS int64) *Node[K, V] {
+	if topLevel >= MaxArenaLevels {
+		panic(fmt.Sprintf("node: arena node top level %d exceeds MaxArenaLevels-1", topLevel))
+	}
+	n := a.alloc(int(owner.Node))
+	n.key = key
+	n.value = value
+	n.kind = Data
+	n.topLevel = int32(topLevel)
+	n.vector = vector
+	n.ownerThread = owner.Thread
+	n.ownerNode = owner.Node
+	n.id = id
+	n.allocTS = allocTS
+	for i := 0; i <= topLevel; i++ {
+		n.pw[i].Init(0, false, true)
+	}
+	return n
+}
+
+// NewHead allocates the arena-backed sentinel fronting the (level, label)
+// list, pointing at tail. Like its heap sibling it carries a single level
+// reference — sentinels are sized once (see node.NewHead).
+func (a *Arena[K, V]) NewHead(level int, label uint32, tail *Node[K, V], id uint64) *Node[K, V] {
+	n := a.alloc(int(HeadOwner.Node))
+	n.kind = Head
+	n.topLevel = int32(level)
+	n.vector = label
+	n.ownerThread = HeadOwner.Thread
+	n.ownerNode = HeadOwner.Node
+	n.id = id
+	n.pw[0].Init(idxOf(tail), false, true)
+	return n
+}
+
+// NewTail allocates the arena-backed shared terminating sentinel.
+func (a *Arena[K, V]) NewTail(maxLevel int, id uint64) *Node[K, V] {
+	n := a.alloc(int(HeadOwner.Node))
+	n.kind = Tail
+	n.topLevel = int32(maxLevel)
+	n.ownerThread = HeadOwner.Thread
+	n.ownerNode = HeadOwner.Node
+	n.id = id
+	n.pw[0].Init(0, false, true)
+	return n
+}
+
+// ArenaShardStats describes one shard's occupancy.
+type ArenaShardStats struct {
+	// Chunks is the number of chunk slabs allocated so far.
+	Chunks int
+	// SlotsUsed is the number of slots handed out (including shard 0's
+	// reserved nil slot).
+	SlotsUsed uint64
+	// SlotsReserved is the slot capacity of the allocated chunks.
+	SlotsReserved uint64
+}
+
+// ArenaStats aggregates occupancy over all shards.
+type ArenaStats struct {
+	Shards        []ArenaShardStats
+	Chunks        int
+	SlotsUsed     uint64
+	SlotsReserved uint64
+}
+
+// Stats snapshots the arena's occupancy. Safe to call concurrently with
+// allocation; the snapshot as a whole is not atomic.
+func (a *Arena[K, V]) Stats() ArenaStats {
+	st := ArenaStats{Shards: make([]ArenaShardStats, len(a.shards))}
+	for i := range a.shards {
+		s := &a.shards[i]
+		ss := ArenaShardStats{SlotsUsed: s.next.Load()}
+		if chunks := s.chunks.Load(); chunks != nil {
+			ss.Chunks = len(*chunks)
+			ss.SlotsReserved = uint64(len(*chunks)) * arenaChunkSlots
+		}
+		if ss.SlotsUsed > ss.SlotsReserved {
+			// The cursor can run ahead of a concurrent grow.
+			ss.SlotsUsed = ss.SlotsReserved
+		}
+		st.Shards[i] = ss
+		st.Chunks += ss.Chunks
+		st.SlotsUsed += ss.SlotsUsed
+		st.SlotsReserved += ss.SlotsReserved
+	}
+	return st
+}

@@ -4,14 +4,31 @@
 //
 // A shared node carries:
 //
-//   - an array of level references (next pointers with marked/valid bits, see
-//     internal/atomicmark) — s.next[i] in the paper;
+//   - an array of level references (next pointers with marked/valid bits) —
+//     s.next[i] in the paper — in one of two interchangeable representations:
+//     cell-based (internal/atomicmark.Ref: an atomic pointer to an immutable
+//     heap cell, swapped on every mutation) or arena-backed packed words
+//     (atomicmark.PackedRef: one atomic uint64 per reference packing a 32-bit
+//     arena index with the marked/valid bits, CAS-able with zero allocation —
+//     see arena.go). A structure picks one representation at construction;
+//     the algorithms above this package cannot tell them apart;
 //   - first-touch ownership (allocating thread and its NUMA node), used by
 //     the instrumentation to classify accesses as local or remote;
 //   - the allocation timestamp used by the lazy variant's commission period;
 //   - the `inserted` flag set once all levels are linked (lazy insertion);
 //   - the owning thread's membership vector, which determines the shared
 //     linked lists the node participates in at every level.
+//
+// # Sentinel sizing
+//
+// Sentinels carry exactly one level reference regardless of structure
+// height. A Head fronts a single (level, label) list and is only ever read
+// or CASed at that level (descend/listHeadFor re-resolve the sentinel when a
+// search drops a level), so its lone reference stands for its own level —
+// accessing a head at any other level is a protocol violation and panics. A
+// Tail terminates every list; traversals stop on its Kind before following
+// its references, and the only field ever inspected is the (always unmarked)
+// level-0 mark bit in skipDead — so all levels share its single reference.
 //
 // Access functions come in two flavours: instrumented (taking a
 // *stats.ThreadRecorder, which may be nil) and raw. The algorithms use raw
@@ -43,7 +60,8 @@ const (
 )
 
 // Node is a shared node. The zero value is not usable; construct with
-// NewData, NewHead, or NewTail.
+// NewData, NewHead, or NewTail (cell-based) or through an Arena
+// (packed).
 type Node[K cmp.Ordered, V any] struct {
 	key   K
 	value V
@@ -71,7 +89,17 @@ type Node[K cmp.Ordered, V any] struct {
 	// node's own level references.
 	maint atomic.Uint32
 
+	// Exactly one of the two level-reference representations is populated.
+	//
+	// next: cell-based references (heap nodes). Data nodes carry
+	// topLevel+1 entries; sentinels carry one (see "Sentinel sizing").
 	next []atomicmark.Ref[Node[K, V]]
+	// ar/self/pw: arena-backed packed references. self is this node's
+	// index in ar (never 0); pw points at the packed words inlined next to
+	// the node in its arena slot.
+	ar   *Arena[K, V]
+	self uint32
+	pw   *[MaxArenaLevels]atomicmark.PackedRef
 }
 
 // Maintenance-state bits, set and cleared through TrySetMaint/ClearMaint.
@@ -100,9 +128,10 @@ type Owner struct {
 // the paper's arbitrary attribution of the head array (Fig. 8 discussion).
 var HeadOwner = Owner{Thread: 0, Node: 0}
 
-// NewData allocates a data node participating in levels 0..topLevel, with
-// all level references pointing at succ, unmarked and valid. The lazy
-// protocol requires new nodes to be allocated unmarked and valid.
+// NewData allocates a heap (cell-based) data node participating in levels
+// 0..topLevel, with all level references pointing at succ, unmarked and
+// valid. The lazy protocol requires new nodes to be allocated unmarked and
+// valid. Arena-backed structures use Arena.NewData instead.
 func NewData[K cmp.Ordered, V any](key K, value V, topLevel int, vector uint32, owner Owner, id uint64, allocTS int64) *Node[K, V] {
 	n := &Node[K, V]{
 		key:         key,
@@ -123,7 +152,8 @@ func NewData[K cmp.Ordered, V any](key K, value V, topLevel int, vector uint32, 
 }
 
 // NewHead allocates the sentinel fronting the (level, label) list, pointing
-// at tail.
+// at tail. Sentinels are sized once: a head carries a single reference that
+// stands for its own level (see "Sentinel sizing" in the package comment).
 func NewHead[K cmp.Ordered, V any](level int, label uint32, tail *Node[K, V], id uint64) *Node[K, V] {
 	n := &Node[K, V]{
 		kind:        Head,
@@ -133,15 +163,15 @@ func NewHead[K cmp.Ordered, V any](level int, label uint32, tail *Node[K, V], id
 		ownerNode:   HeadOwner.Node,
 		id:          id,
 	}
-	n.next = make([]atomicmark.Ref[Node[K, V]], level+1)
-	for i := range n.next {
-		n.next[i].Init(tail, false, true)
-	}
+	n.next = make([]atomicmark.Ref[Node[K, V]], 1)
+	n.next[0].Init(tail, false, true)
 	return n
 }
 
-// NewTail allocates the shared terminating sentinel for a structure with the
-// given maximum level.
+// NewTail allocates the shared terminating sentinel. It carries a single
+// level reference shared by all levels, never followed by traversals (see
+// "Sentinel sizing" in the package comment); maxLevel only sets its
+// TopLevel.
 func NewTail[K cmp.Ordered, V any](maxLevel int, id uint64) *Node[K, V] {
 	n := &Node[K, V]{
 		kind:        Tail,
@@ -150,10 +180,8 @@ func NewTail[K cmp.Ordered, V any](maxLevel int, id uint64) *Node[K, V] {
 		ownerNode:   HeadOwner.Node,
 		id:          id,
 	}
-	n.next = make([]atomicmark.Ref[Node[K, V]], maxLevel+1)
-	for i := range n.next {
-		n.next[i].Init(nil, false, true)
-	}
+	n.next = make([]atomicmark.Ref[Node[K, V]], 1)
+	n.next[0].Init(nil, false, true)
 	return n
 }
 
@@ -184,6 +212,10 @@ func (n *Node[K, V]) OwnerNode() int32 { return n.ownerNode }
 // ID returns the node's unique ID (used as its cache-line address by the
 // cache simulator).
 func (n *Node[K, V]) ID() uint64 { return n.id }
+
+// ArenaIndex returns the node's arena index, or 0 for heap (cell-based)
+// nodes. For tests and tooling.
+func (n *Node[K, V]) ArenaIndex() uint32 { return n.self }
 
 // AllocTS returns the allocation timestamp (structure-relative nanoseconds),
 // the base of the commission period.
@@ -254,6 +286,130 @@ func (n *Node[K, V]) KeyEquals(key K) bool {
 	return n.kind == Data && n.key == key
 }
 
+// --- Representation funnel ------------------------------------------------
+//
+// Every level-reference access goes through the helpers below, which map the
+// requested level onto the node's reference array (sentinels hold a single
+// shared reference) and branch between the packed and cell representations.
+// The branch is on a per-node pointer that is constant for the lifetime of a
+// structure, so it predicts perfectly on hot paths.
+
+// refIndex maps a level onto the node's reference array. Data nodes index
+// directly; a tail's single reference stands for every level (only its
+// always-false mark bit is ever read); a head's single reference stands for
+// the one level it fronts.
+func (n *Node[K, V]) refIndex(level int) int {
+	switch n.kind {
+	case Data:
+		return level
+	case Tail:
+		return 0
+	default: // Head
+		if level != int(n.topLevel) {
+			panic("node: head sentinel accessed outside the level it fronts")
+		}
+		return 0
+	}
+}
+
+// idxOf translates a successor pointer into the packed representation's
+// index space. Only arena-backed nodes may circulate inside a packed
+// structure; linking a heap node would silently alias nil, so it panics.
+func idxOf[K cmp.Ordered, V any](p *Node[K, V]) uint32 {
+	if p == nil {
+		return 0
+	}
+	if p.self == 0 {
+		panic("node: cell-based node linked into an arena-backed structure")
+	}
+	return p.self
+}
+
+func (n *Node[K, V]) refLoad(level int) atomicmark.Snapshot[Node[K, V]] {
+	i := n.refIndex(level)
+	if n.pw != nil {
+		ps := n.pw[i].Load()
+		return atomicmark.Snapshot[Node[K, V]]{Next: n.ar.At(ps.Index), Marked: ps.Marked, Valid: ps.Valid}
+	}
+	return n.next[i].Load()
+}
+
+func (n *Node[K, V]) refNext(level int) *Node[K, V] {
+	i := n.refIndex(level)
+	if n.pw != nil {
+		return n.ar.At(n.pw[i].Index())
+	}
+	return n.next[i].Next()
+}
+
+func (n *Node[K, V]) refMarked(level int) bool {
+	i := n.refIndex(level)
+	if n.pw != nil {
+		return n.pw[i].Marked()
+	}
+	return n.next[i].Marked()
+}
+
+func (n *Node[K, V]) refMarkValid(level int) (marked, valid bool) {
+	i := n.refIndex(level)
+	if n.pw != nil {
+		return n.pw[i].MarkValid()
+	}
+	return n.next[i].MarkValid()
+}
+
+func (n *Node[K, V]) refStore(level int, next *Node[K, V], marked, valid bool) {
+	i := n.refIndex(level)
+	if n.pw != nil {
+		n.pw[i].Store(idxOf(next), marked, valid)
+		return
+	}
+	n.next[i].Store(next, marked, valid)
+}
+
+func (n *Node[K, V]) refCASNext(level int, exp, next *Node[K, V]) bool {
+	i := n.refIndex(level)
+	if n.pw != nil {
+		return n.pw[i].CASNext(idxOf(exp), idxOf(next))
+	}
+	return n.next[i].CASNext(exp, next)
+}
+
+func (n *Node[K, V]) refCASMark(level int, exp, new bool) bool {
+	i := n.refIndex(level)
+	if n.pw != nil {
+		return n.pw[i].CASMark(exp, new)
+	}
+	return n.next[i].CASMark(exp, new)
+}
+
+func (n *Node[K, V]) refCASValid(level int, exp, new bool) bool {
+	i := n.refIndex(level)
+	if n.pw != nil {
+		return n.pw[i].CASValid(exp, new)
+	}
+	return n.next[i].CASValid(exp, new)
+}
+
+func (n *Node[K, V]) refCASMarkValid(level int, expMarked, expValid, newMarked, newValid bool) bool {
+	i := n.refIndex(level)
+	if n.pw != nil {
+		return n.pw[i].CASMarkValid(expMarked, expValid, newMarked, newValid)
+	}
+	return n.next[i].CASMarkValid(expMarked, expValid, newMarked, newValid)
+}
+
+func (n *Node[K, V]) refCASSnapshot(level int, exp, want atomicmark.Snapshot[Node[K, V]]) bool {
+	i := n.refIndex(level)
+	if n.pw != nil {
+		return n.pw[i].CASSnapshot(
+			atomicmark.PackedSnapshot{Index: idxOf(exp.Next), Marked: exp.Marked, Valid: exp.Valid},
+			atomicmark.PackedSnapshot{Index: idxOf(want.Next), Marked: want.Marked, Valid: want.Valid},
+		)
+	}
+	return n.next[i].CASSnapshot(exp, want)
+}
+
 // --- Instrumented access functions (the paper's "node access functions") ---
 
 func (n *Node[K, V]) read(tr *stats.ThreadRecorder) {
@@ -263,25 +419,25 @@ func (n *Node[K, V]) read(tr *stats.ThreadRecorder) {
 // Next returns the level-i successor, recording a read.
 func (n *Node[K, V]) Next(level int, tr *stats.ThreadRecorder) *Node[K, V] {
 	n.read(tr)
-	return n.next[level].Next()
+	return n.refNext(level)
 }
 
 // Load returns an atomic snapshot of the level-i reference, recording a read.
 func (n *Node[K, V]) Load(level int, tr *stats.ThreadRecorder) atomicmark.Snapshot[Node[K, V]] {
 	n.read(tr)
-	return n.next[level].Load()
+	return n.refLoad(level)
 }
 
 // Marked returns the level-i marked bit, recording a read.
 func (n *Node[K, V]) Marked(level int, tr *stats.ThreadRecorder) bool {
 	n.read(tr)
-	return n.next[level].Marked()
+	return n.refMarked(level)
 }
 
 // MarkValid returns the level-i (marked, valid) pair, recording a read.
 func (n *Node[K, V]) MarkValid(level int, tr *stats.ThreadRecorder) (marked, valid bool) {
 	n.read(tr)
-	return n.next[level].MarkValid()
+	return n.refMarkValid(level)
 }
 
 func (n *Node[K, V]) cas(tr *stats.ThreadRecorder, ok bool) bool {
@@ -292,7 +448,7 @@ func (n *Node[K, V]) cas(tr *stats.ThreadRecorder, ok bool) bool {
 // CASNext swings the level-i successor from exp to next, failing if the
 // reference is marked. Records a maintenance CAS.
 func (n *Node[K, V]) CASNext(level int, exp, next *Node[K, V], tr *stats.ThreadRecorder) bool {
-	return n.cas(tr, n.next[level].CASNext(exp, next))
+	return n.cas(tr, n.refCASNext(level, exp, next))
 }
 
 // CASSnapshot performs a full-triple CAS on the level-i reference, recording
@@ -300,57 +456,57 @@ func (n *Node[K, V]) CASNext(level int, exp, next *Node[K, V], tr *stats.ThreadR
 // `middle` node observed when the predecessor was identified, and want.Next
 // skips the whole chain of marked references.
 func (n *Node[K, V]) CASSnapshot(level int, exp, want atomicmark.Snapshot[Node[K, V]], tr *stats.ThreadRecorder) bool {
-	return n.cas(tr, n.next[level].CASSnapshot(exp, want))
+	return n.cas(tr, n.refCASSnapshot(level, exp, want))
 }
 
 // CASMark flips the level-i marked bit, recording a maintenance CAS.
 func (n *Node[K, V]) CASMark(level int, exp, next bool, tr *stats.ThreadRecorder) bool {
-	return n.cas(tr, n.next[level].CASMark(exp, next))
+	return n.cas(tr, n.refCASMark(level, exp, next))
 }
 
 // CASValid flips the level-i valid bit, recording a maintenance CAS.
 func (n *Node[K, V]) CASValid(level int, exp, next bool, tr *stats.ThreadRecorder) bool {
-	return n.cas(tr, n.next[level].CASValid(exp, next))
+	return n.cas(tr, n.refCASValid(level, exp, next))
 }
 
 // CASMarkValid atomically replaces the level-i (marked, valid) pair,
 // recording a maintenance CAS. This is the linearization CAS of lazy insert
 // and remove.
 func (n *Node[K, V]) CASMarkValid(level int, expMarked, expValid, newMarked, newValid bool, tr *stats.ThreadRecorder) bool {
-	return n.cas(tr, n.next[level].CASMarkValid(expMarked, expValid, newMarked, newValid))
+	return n.cas(tr, n.refCASMarkValid(level, expMarked, expValid, newMarked, newValid))
 }
 
 // --- Raw access functions (inserting-node traffic, excluded from metrics) ---
 
 // RawNext returns the level-i successor without recording.
 func (n *Node[K, V]) RawNext(level int) *Node[K, V] {
-	return n.next[level].Next()
+	return n.refNext(level)
 }
 
 // RawLoad returns a snapshot of the level-i reference without recording.
 func (n *Node[K, V]) RawLoad(level int) atomicmark.Snapshot[Node[K, V]] {
-	return n.next[level].Load()
+	return n.refLoad(level)
 }
 
 // RawMarked returns the level-i marked bit without recording.
 func (n *Node[K, V]) RawMarked(level int) bool {
-	return n.next[level].Marked()
+	return n.refMarked(level)
 }
 
-// RawMarkValid returns the level-i (marked, valid) pair without recording.
+// RawMarkValid returns the level-0 (marked, valid) pair without recording.
 func (n *Node[K, V]) RawMarkValid() (marked, valid bool) {
-	return n.next[0].MarkValid()
+	return n.refMarkValid(0)
 }
 
 // RawStore unconditionally sets the level-i reference. Only safe on a node
 // not yet published (e.g. toInsert.setNext(0, successors[0]) before the link
 // CAS).
 func (n *Node[K, V]) RawStore(level int, next *Node[K, V], marked, valid bool) {
-	n.next[level].Store(next, marked, valid)
+	n.refStore(level, next, marked, valid)
 }
 
 // RawCASNext swings the level-i successor without recording (used by
 // finishInsert on the thread's own inserting node).
 func (n *Node[K, V]) RawCASNext(level int, exp, next *Node[K, V]) bool {
-	return n.next[level].CASNext(exp, next)
+	return n.refCASNext(level, exp, next)
 }

@@ -74,12 +74,28 @@ func TestSentinelOrdering(t *testing.T) {
 	if head.Vector() != 0b11 {
 		t.Fatal("head label lost")
 	}
-	// Head points at tail on every level.
+	// A head carries a single reference for the one level it fronts.
+	if head.RawNext(2) != tail {
+		t.Fatal("head not pointing at tail at its own level")
+	}
+	// A tail's single reference stands in for every level (traversals only
+	// ever read its mark bit).
 	for level := 0; level <= 2; level++ {
-		if head.RawNext(level) != tail {
-			t.Fatalf("head level %d not pointing at tail", level)
+		if tail.RawMarked(level) {
+			t.Fatalf("tail level %d marked", level)
 		}
 	}
+}
+
+func TestHeadAccessOutsideItsLevelPanics(t *testing.T) {
+	tail := NewTail[int, string](2, 1)
+	head := NewHead[int, string](2, 0, tail, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("accessing a head outside the level it fronts did not panic")
+		}
+	}()
+	head.RawNext(0)
 }
 
 func TestInstrumentedAccessRecords(t *testing.T) {

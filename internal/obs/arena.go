@@ -1,0 +1,47 @@
+package obs
+
+// Arena-occupancy gauge: structures using the arena-backed packed node
+// representation (see internal/node, DESIGN.md "Memory layout") install a
+// stats callback so snapshots report how much slab memory the structure
+// holds and how full it is. Mirrors the maintenance queue-depth gauge.
+
+// ArenaShardSnapshot describes one arena shard's (socket slab's) occupancy.
+type ArenaShardSnapshot struct {
+	// Chunks is the number of chunk slabs the shard has allocated.
+	Chunks int `json:"chunks"`
+	// SlotsUsed is the number of node slots handed out so far. Slots are
+	// never reclaimed while the structure lives, so this is also the number
+	// of nodes (live or retired) the shard keeps alive.
+	SlotsUsed uint64 `json:"slots_used"`
+	// SlotsReserved is the slot capacity of the allocated chunks.
+	SlotsReserved uint64 `json:"slots_reserved"`
+}
+
+// ArenaSnapshot summarizes a structure's node-arena occupancy.
+type ArenaSnapshot struct {
+	Shards        []ArenaShardSnapshot `json:"shards"`
+	Chunks        int                  `json:"chunks"`
+	SlotsUsed     uint64               `json:"slots_used"`
+	SlotsReserved uint64               `json:"slots_reserved"`
+}
+
+// SetArenaStats installs the gauge snapshots read for the arena section of
+// Snapshot — typically a closure over skipgraph.SG.ArenaStats. A nil tracer
+// ignores the call.
+func (t *Tracer) SetArenaStats(f func() ArenaSnapshot) {
+	if t == nil {
+		return
+	}
+	t.arenaStats.Store(&f)
+}
+
+// arenaSnapshot builds the Snapshot section, or nil when the structure does
+// not use an arena.
+func (t *Tracer) arenaSnapshot() *ArenaSnapshot {
+	fn := t.arenaStats.Load()
+	if fn == nil {
+		return nil
+	}
+	s := (*fn)()
+	return &s
+}

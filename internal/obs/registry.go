@@ -82,6 +82,9 @@ type Snapshot struct {
 	// Maintenance summarizes the background maintenance engine, when one is
 	// attached (nil otherwise).
 	Maintenance *MaintSnapshot `json:"maintenance,omitempty"`
+	// Arena summarizes node-arena occupancy for structures using the packed
+	// representation (nil for cell-based structures).
+	Arena *ArenaSnapshot `json:"arena,omitempty"`
 }
 
 // OpSnapshot summarizes one operation kind.
@@ -122,6 +125,7 @@ func (t *Tracer) Snapshot() Snapshot {
 	}
 	s.Stripes = t.Stripes()
 	s.Maintenance = t.maintSnapshot()
+	s.Arena = t.arenaSnapshot()
 	for k := 1; k < nOpKinds; k++ {
 		m := &t.ops[k]
 		count := m.count.Load()
@@ -165,6 +169,13 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		if _, err := fmt.Fprintf(w,
 			"  maintain enqueues=%d drains=%d steals=%d drops=%d queue_depth=%d\n",
 			m.Enqueues, m.Drains, m.Steals, m.Drops, m.QueueDepth); err != nil {
+			return err
+		}
+	}
+	if a := s.Arena; a != nil {
+		if _, err := fmt.Fprintf(w,
+			"  arena    shards=%d chunks=%d slots_used=%d slots_reserved=%d\n",
+			len(a.Shards), a.Chunks, a.SlotsUsed, a.SlotsReserved); err != nil {
 			return err
 		}
 	}

@@ -45,6 +45,10 @@ type Tracer struct {
 	// total queued work for snapshots.
 	maint      [nMaintKinds]atomic.Uint64
 	queueDepth atomic.Pointer[func() int64]
+
+	// arenaStats, when set, gauges the attached structure's node-arena
+	// occupancy for snapshots (packed representation only).
+	arenaStats atomic.Pointer[func() ArenaSnapshot]
 }
 
 // opMetrics aggregates one operation kind across all stripes. Writers are

@@ -63,6 +63,17 @@ type Config struct {
 	// Clock returns monotonic nanoseconds; nil uses a time.Since-based clock.
 	// Injectable for deterministic tests.
 	Clock func() int64
+	// PackedRefs selects the arena-backed node representation: nodes come
+	// from per-socket slabs and every level reference is one packed atomic
+	// word (index|marked|valid) instead of a pointer to a heap-allocated
+	// immutable cell — allocation-free link mutations at the cost of arena
+	// slots never being reclaimed before the structure is dropped. Requires
+	// MaxLevel < node.MaxArenaLevels.
+	PackedRefs bool
+	// ArenaShards is the arena shard (socket) count when PackedRefs is set;
+	// <= 0 means one shard. Node owners allocate from the shard matching
+	// their NUMA node, giving first-touch socket locality.
+	ArenaShards int
 }
 
 // Commission-period defaults. The paper's period is proportional to the
@@ -138,6 +149,9 @@ type SG[K cmp.Ordered, V any] struct {
 	// hooks, when non-nil, routes deferred maintenance to a background
 	// engine. Set once via SetHooks before concurrent use.
 	hooks *Hooks[K, V]
+	// arena backs all of the structure's nodes when cfg.PackedRefs is set;
+	// nil means the cell-based representation.
+	arena *node.Arena[K, V]
 }
 
 // New builds an empty skip graph.
@@ -154,12 +168,20 @@ func New[K cmp.Ordered, V any](cfg Config) (*SG[K, V], error) {
 	if cfg.Lazy && cfg.CommissionPeriod <= 0 {
 		return nil, fmt.Errorf("skipgraph: lazy structure requires a positive CommissionPeriod")
 	}
+	if cfg.PackedRefs && cfg.MaxLevel >= node.MaxArenaLevels {
+		return nil, fmt.Errorf("skipgraph: MaxLevel %d too tall for packed refs (max %d); use the cell-based representation", cfg.MaxLevel, node.MaxArenaLevels-1)
+	}
 	sg := &SG[K, V]{cfg: cfg, started: time.Now()}
 	if sg.cfg.Clock == nil {
 		start := sg.started
 		sg.cfg.Clock = func() int64 { return int64(time.Since(start)) }
 	}
-	sg.tail = node.NewTail[K, V](cfg.MaxLevel, sg.nextID.Add(1))
+	if cfg.PackedRefs {
+		sg.arena = node.NewArena[K, V](cfg.ArenaShards)
+		sg.tail = sg.arena.NewTail(cfg.MaxLevel, sg.nextID.Add(1))
+	} else {
+		sg.tail = node.NewTail[K, V](cfg.MaxLevel, sg.nextID.Add(1))
+	}
 	sg.heads = make([][]*node.Node[K, V], cfg.MaxLevel+1)
 	for level := 0; level <= cfg.MaxLevel; level++ {
 		lists := 1
@@ -168,7 +190,11 @@ func New[K cmp.Ordered, V any](cfg Config) (*SG[K, V], error) {
 		}
 		sg.heads[level] = make([]*node.Node[K, V], lists)
 		for label := 0; label < lists; label++ {
-			sg.heads[level][label] = node.NewHead[K, V](level, uint32(label), sg.tail, sg.nextID.Add(1))
+			if sg.arena != nil {
+				sg.heads[level][label] = sg.arena.NewHead(level, uint32(label), sg.tail, sg.nextID.Add(1))
+			} else {
+				sg.heads[level][label] = node.NewHead[K, V](level, uint32(label), sg.tail, sg.nextID.Add(1))
+			}
 		}
 	}
 	return sg, nil
@@ -230,9 +256,26 @@ func (sg *SG[K, V]) RandomTopLevel(rng *rand.Rand) int {
 
 // NewNode allocates a data node owned by the given thread, stamping the
 // allocation timestamp used by the commission period. The node participates
-// in levels 0..topLevel of the lists its vector selects.
+// in levels 0..topLevel of the lists its vector selects. With PackedRefs the
+// node comes from the owner's arena shard (socket-local backing memory).
 func (sg *SG[K, V]) NewNode(key K, value V, vector uint32, owner node.Owner, topLevel int) *node.Node[K, V] {
+	if sg.arena != nil {
+		return sg.arena.NewData(key, value, topLevel, vector, owner, sg.nextID.Add(1), sg.Now())
+	}
 	return node.NewData(key, value, topLevel, vector, owner, sg.nextID.Add(1), sg.Now())
+}
+
+// PackedRefs reports whether the structure uses the arena-backed packed
+// level-reference representation.
+func (sg *SG[K, V]) PackedRefs() bool { return sg.arena != nil }
+
+// ArenaStats snapshots arena occupancy; the zero value for cell-based
+// structures.
+func (sg *SG[K, V]) ArenaStats() node.ArenaStats {
+	if sg.arena == nil {
+		return node.ArenaStats{}
+	}
+	return sg.arena.Stats()
 }
 
 // SearchResult carries lazyRelinkSearch's per-level output: predecessors,

@@ -14,12 +14,14 @@ type LeaseRecorder struct {
 	stripes []stripeLease
 }
 
-// stripeLease holds one stripe's counters, padded to a cache line.
+// stripeLease holds one stripe's counters, padded to a 128-byte stride: a
+// full cache line of separation plus slack so the adjacent-line prefetcher
+// does not couple neighbouring stripes under contention.
 type stripeLease struct {
 	hits       atomic.Uint64
 	migrations atomic.Uint64
 	blocks     atomic.Uint64
-	_          [40]byte //nolint:unused
+	_          [104]byte //nolint:unused
 }
 
 // NewLeaseRecorder creates a recorder for a leasing layer with the given

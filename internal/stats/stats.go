@@ -28,6 +28,12 @@ type ThreadRecorder struct {
 	thread int
 	node   int
 
+	// pad isolates the hot counter block below from whatever precedes the
+	// recorder in memory (the previous recorder's sink/pointer fields when
+	// recorders sit in a slice, a neighbouring allocation otherwise), so two
+	// threads' counters never share a cache line from either side.
+	_ [64]byte //nolint:unused
+
 	localReads  uint64
 	remoteReads uint64
 	localCAS    uint64
@@ -52,8 +58,9 @@ type ThreadRecorder struct {
 	sink AccessSink
 
 	// pad keeps adjacent recorders out of each other's cache lines even if a
-	// caller embeds them in a slice.
-	_ [64]byte //nolint:unused
+	// caller embeds them in a slice. Sized for a 128-byte stride so the
+	// adjacent-line prefetcher cannot couple neighbours either.
+	_ [128]byte //nolint:unused
 }
 
 // Thread returns the logical worker thread this recorder belongs to.

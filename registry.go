@@ -52,6 +52,10 @@ type AdapterOptions struct {
 	// helper pool, or both (see MaintBackground / MaintHybrid). Other
 	// algorithms ignore it.
 	Maintenance MaintenancePolicy
+	// Refs selects the node representation for the layered variants (packed
+	// arena words vs heap cells); zero value RefAuto picks packed whenever
+	// the structure's height fits. Other algorithms ignore it.
+	Refs RefMode
 	// Seed makes structure-internal randomness deterministic.
 	Seed int64
 	// ViaStore drives the algorithm through the goroutine-safe Store facade
@@ -98,6 +102,7 @@ func layeredBuilder(kind core.Kind) algoBuilder {
 			Maintenance:      o.Maintenance,
 			Recorder:         o.Recorder,
 			Tracer:           o.Observe,
+			Refs:             o.Refs,
 			Seed:             o.Seed,
 		}
 		if o.ViaStore {

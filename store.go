@@ -50,8 +50,9 @@ type Store[K cmp.Ordered, V any] struct {
 	closed  atomic.Bool
 }
 
-// storeStripe pairs one confined handle with its lease lock, padded so
-// stripe locks do not share cache lines.
+// storeStripe pairs one confined handle with its lease lock, padded to a
+// 128-byte stride so contended stripe locks neither share a cache line nor
+// get coupled by the adjacent-line prefetcher.
 type storeStripe[K cmp.Ordered, V any] struct {
 	mu sync.Mutex
 	h  *core.Handle[K, V]
@@ -63,7 +64,7 @@ type storeStripe[K cmp.Ordered, V any] struct {
 	// caller-supplied context (DoContext/AcquireContext).
 	labels   context.Context
 	labelSet pprof.LabelSet
-	_        [40]byte //nolint:unused
+	_        [128]byte //nolint:unused
 }
 
 // stripeHint carries a goroutine's preferred stripe between leases, plus the
