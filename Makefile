@@ -12,7 +12,14 @@
 #   make race-refs — race pass over the node-representation surface: the
 #                   packed/cell torture scenarios and differential fuzz
 #                   seed corpus, plus internal/atomicmark and internal/node
+#   make race-reclaim — race pass over the reclamation/snapshot surface:
+#                   internal/epoch plus the root snapshot, plateau,
+#                   slot-recycle-ABA, and Close-blocks-on-snapshot
+#                   scenarios, and the FuzzSnapshotOps seed corpus
 #   make bench    — the Store-overhead benchmark pair (see EXPERIMENTS.md)
+#   make bench-reclaim — the reclamation benchmarks: slot-churn turnover
+#                   and revival with reclamation on/off, snapshot acquire,
+#                   and consistent-vs-weak RangeScan (see EXPERIMENTS.md)
 #   make bench-alloc — the representation benchmarks with -benchmem and
 #                   GODEBUG=gctrace=1, for allocs/op and GC-pause deltas
 #                   (see EXPERIMENTS.md); gctrace logs go to stderr
@@ -23,9 +30,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: ci build test vet race race-maintain race-refs bench bench-alloc fuzz-smoke fmt
+.PHONY: ci build test vet race race-maintain race-refs race-reclaim bench bench-alloc bench-reclaim fuzz-smoke fmt
 
-ci: build test vet race race-maintain race-refs
+ci: build test vet race race-maintain race-refs race-reclaim
 
 build:
 	$(GO) build ./...
@@ -47,6 +54,11 @@ race-refs:
 	$(GO) test -race ./internal/atomicmark ./internal/node
 	$(GO) test -race -run 'TestTorturePackedRefs|FuzzRefRepresentations' .
 
+race-reclaim:
+	$(GO) test -race ./internal/epoch
+	$(GO) test -race -run 'TestArenaRecycleABA' ./internal/node
+	$(GO) test -race -run 'TestSnapshot|TestReclaimPlateau|TestInlineRetireReachesLimbo|TestStoreCloseBlocksOnSnapshot|FuzzSnapshotOps' .
+
 bench:
 	$(GO) test -run '^$$' -bench 'Store' -benchtime 3x .
 
@@ -54,11 +66,16 @@ bench-alloc:
 	GODEBUG=gctrace=1 $(GO) test -run '^$$' -bench 'RefRepresentation/churn' -benchmem -benchtime 200000x .
 	GODEBUG=gctrace=1 $(GO) test -run '^$$' -bench 'RefRepresentation/trial' -benchmem -benchtime 3x .
 
+bench-reclaim:
+	$(GO) test -run '^$$' -bench 'Reclaim/(turnover|revive)' -benchmem -benchtime 200000x .
+	$(GO) test -run '^$$' -bench 'Reclaim/(snapshot|rangescan)' -benchtime 10000x .
+
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSkipGraphOps$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzStoreOps$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzMaintainOps$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzRefRepresentations$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzSnapshotOps$$' -fuzztime $(FUZZTIME) .
 
 fmt:
 	gofmt -l .

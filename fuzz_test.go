@@ -446,3 +446,134 @@ func replayStoreOps(t *testing.T, kind core.Kind, data []byte) {
 	}
 	checkModel(t, kind, st.Map(), model)
 }
+
+// FuzzSnapshotOps is the MVCC twin-map target: sequences interleave map
+// mutations with opening, verifying, and closing snapshots, plus synchronous
+// maintenance flushes that drive retirement and slot reclamation while
+// snapshots are live. Sequentially the snapshot contract is exact: a
+// snapshot taken at any point must observe precisely the model state at that
+// point — including values from superseded lives preserved by the revival
+// log — no matter how much churn and reclamation happens afterwards.
+func FuzzSnapshotOps(f *testing.F) {
+	f.Add([]byte{0, 1, 4, 0, 2, 1, 0, 1, 5, 0, 7, 0, 5, 0, 6, 0})
+	f.Add([]byte{0, 5, 0, 6, 4, 0, 2, 5, 0, 5, 5, 0, 2, 6, 4, 0, 7, 0, 5, 1, 5, 0})
+	f.Add([]byte{0, 9, 2, 9, 0, 9, 4, 0, 2, 9, 0, 9, 7, 0, 5, 0, 2, 9, 5, 0, 6, 0, 4, 0, 5, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, kind := range []core.Kind{core.LazyLayeredSG, core.LazyLayeredSSG} {
+			replaySnapshotOps(t, kind, data)
+		}
+	})
+}
+
+type fuzzSnap struct {
+	snap  *core.Snapshot[int64, int64]
+	model map[int64]int64
+	at    int // op index at acquisition (diagnostics)
+}
+
+func verifyFuzzSnap(t *testing.T, kind core.Kind, op int, s fuzzSnap) {
+	t.Helper()
+	got := map[int64]int64{}
+	prev := int64(-1)
+	s.snap.Ascend(func(k, v int64) bool {
+		if k <= prev {
+			t.Fatalf("%v op %d: snapshot(at %d) keys not strictly increasing: %d after %d", kind, op, s.at, k, prev)
+		}
+		prev = k
+		got[k] = v
+		return true
+	})
+	if len(got) != len(s.model) {
+		t.Fatalf("%v op %d: snapshot(at %d) has %d keys, model had %d", kind, op, s.at, len(got), len(s.model))
+	}
+	for k, v := range s.model {
+		if gv, ok := got[k]; !ok || gv != v {
+			t.Fatalf("%v op %d: snapshot(at %d) key %d = (%d, %v), model had %d", kind, op, s.at, k, gv, ok, v)
+		}
+	}
+}
+
+func replaySnapshotOps(t *testing.T, kind core.Kind, data []byte) {
+	machine := fuzzMachine(t)
+	var now atomic.Int64
+	m, err := New[int64, int64](Config{
+		Machine:          machine,
+		Kind:             kind,
+		Seed:             1,
+		CommissionPeriod: 500,
+		Maintenance:      core.MaintBackground,
+		Clock:            func() int64 { return now.Add(50) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[int64]int64{}
+	var snaps []fuzzSnap
+	h := m.Handle(0)
+	for i := 0; i+1 < len(data); i += 2 {
+		sel, kb := data[i], data[i+1]
+		key := int64(kb) % fuzzKeySpace
+		_, present := model[key]
+		switch sel % 8 {
+		case 0, 1:
+			// Values are a fixed function of the key: a successful insert may
+			// revive the key's previous node, which restores its original
+			// value (documented set semantics), so a per-life value would
+			// diverge from any sequential model under helper-timing
+			// nondeterminism. TestSnapshotRevivalValues pins down per-life
+			// values deterministically.
+			val := key * 1000
+			if got := h.Insert(key, val); got != !present {
+				t.Fatalf("%v op %d: Insert(%d) = %v with present=%v", kind, i/2, key, got, present)
+			}
+			if !present {
+				model[key] = val
+			}
+		case 2:
+			if got := h.Remove(key); got != present {
+				t.Fatalf("%v op %d: Remove(%d) = %v with present=%v", kind, i/2, key, got, present)
+			}
+			delete(model, key)
+		case 3:
+			v, ok := h.Get(key)
+			if ok != present || (ok && v != model[key]) {
+				t.Fatalf("%v op %d: Get(%d) = (%d, %v), model has (%d, %v)", kind, i/2, key, v, ok, model[key], present)
+			}
+		case 4:
+			if len(snaps) < 4 {
+				snap, err := m.Snapshot()
+				if err != nil {
+					t.Fatalf("%v op %d: Snapshot: %v", kind, i/2, err)
+				}
+				mc := make(map[int64]int64, len(model))
+				for k, v := range model {
+					mc[k] = v
+				}
+				snaps = append(snaps, fuzzSnap{snap: snap, model: mc, at: i / 2})
+			}
+		case 5:
+			if len(snaps) > 0 {
+				verifyFuzzSnap(t, kind, i/2, snaps[int(kb)%len(snaps)])
+			}
+		case 6:
+			if len(snaps) > 0 {
+				j := int(kb) % len(snaps)
+				snaps[j].snap.Close()
+				snaps = append(snaps[:j], snaps[j+1:]...)
+			}
+		case 7:
+			// Synchronous maintenance: finish inserts, retire, advance the
+			// epoch, and run a limbo round — reclamation churns under the
+			// open snapshots.
+			m.Maintenance().Flush()
+		}
+	}
+	// Every still-open snapshot must still see exactly its acquisition-time
+	// state, then release them so Close can proceed.
+	for _, s := range snaps {
+		verifyFuzzSnap(t, kind, len(data)/2, s)
+		s.snap.Close()
+	}
+	m.Close()
+	checkModel(t, kind, m, model)
+}

@@ -10,15 +10,17 @@ import (
 func TestPackedZeroValue(t *testing.T) {
 	var r PackedRef
 	snap := r.Load()
-	if snap.Index != 0 || snap.Marked || snap.Valid {
+	if snap.Ref != 0 || snap.Marked || snap.Valid {
 		t.Fatalf("zero value = %+v, want 0/unmarked/invalid", snap)
 	}
 }
 
 func TestPackWordRoundTrip(t *testing.T) {
-	f := func(index uint32, marked, valid bool) bool {
-		got := UnpackWord(PackWord(index, marked, valid))
-		return got == PackedSnapshot{Index: index, Marked: marked, Valid: valid}
+	f := func(index, gen uint32, marked, valid bool) bool {
+		ref := MakeRef(index, gen)
+		got := UnpackWord(PackWord(ref, marked, valid))
+		return got == PackedSnapshot{Ref: ref, Marked: marked, Valid: valid} &&
+			got.Index() == index && got.Gen() == gen&PackedGenMask
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
@@ -27,9 +29,12 @@ func TestPackWordRoundTrip(t *testing.T) {
 
 func TestPackWordLayout(t *testing.T) {
 	// The layout is load-bearing for anyone reading raw words out of dumps:
-	// bit 0 marked, bit 1 valid, index from bit 2.
-	if w := PackWord(1, false, false); w != 1<<2 {
+	// bit 0 marked, bit 1 valid, index from bit 2, generation from bit 34.
+	if w := PackWord(MakeRef(1, 0), false, false); w != 1<<2 {
 		t.Fatalf("index bit position: %#x", w)
+	}
+	if w := PackWord(MakeRef(0, 1), false, false); w != 1<<34 {
+		t.Fatalf("generation bit position: %#x", w)
 	}
 	if w := PackWord(0, true, false); w != 1 {
 		t.Fatalf("marked bit position: %#x", w)
@@ -37,8 +42,19 @@ func TestPackWordLayout(t *testing.T) {
 	if w := PackWord(0, false, true); w != 2 {
 		t.Fatalf("valid bit position: %#x", w)
 	}
-	if w := PackWord(^uint32(0), true, true); w != (1<<32-1)<<2|3 {
+	if w := PackWord(MakeRef(^uint32(0), 0), true, true); w != (1<<32-1)<<2|3 {
 		t.Fatalf("max index: %#x", w)
+	}
+	if w := PackWord(MakeRef(^uint32(0), ^uint32(0)), true, true); w != ^uint64(0) {
+		t.Fatalf("max ref must saturate the word: %#x", w)
+	}
+}
+
+func TestMakeRefMasksGeneration(t *testing.T) {
+	// Generations wrap at PackedGenBits; the index half is never disturbed.
+	ref := MakeRef(42, PackedGenMask+3)
+	if RefIndex(ref) != 42 || RefGen(ref) != 2 {
+		t.Fatalf("MakeRef(42, mask+3) = index %d gen %d, want 42 gen 2", RefIndex(ref), RefGen(ref))
 	}
 }
 
@@ -51,7 +67,7 @@ func TestPackedCASNext(t *testing.T) {
 	if r.CASNext(1, 3) {
 		t.Fatal("CASNext with stale expectation succeeded")
 	}
-	if got := r.Load(); got.Index != 2 || got.Marked || !got.Valid {
+	if got := r.Load(); got.Index() != 2 || got.Marked || !got.Valid {
 		t.Fatalf("state after CASNext = %+v", got)
 	}
 	// A marked reference is frozen.
@@ -63,9 +79,26 @@ func TestPackedCASNext(t *testing.T) {
 	}
 }
 
+// TestPackedCASNextGenMismatch is the ABA guard in miniature: an expectation
+// holding yesterday's generation of the same index must fail even though the
+// index half matches exactly.
+func TestPackedCASNextGenMismatch(t *testing.T) {
+	var r PackedRef
+	r.Init(MakeRef(5, 2), false, true)
+	if r.CASNext(MakeRef(5, 1), MakeRef(9, 0)) {
+		t.Fatal("CASNext succeeded against a stale generation")
+	}
+	if !r.CASNext(MakeRef(5, 2), MakeRef(9, 4)) {
+		t.Fatal("CASNext with the live generation failed")
+	}
+	if got := r.Load(); got.Index() != 9 || got.Gen() != 4 {
+		t.Fatalf("state after CASNext = index %d gen %d", got.Index(), got.Gen())
+	}
+}
+
 func TestPackedCASMarkValid(t *testing.T) {
 	var r PackedRef
-	r.Init(7, false, true)
+	r.Init(MakeRef(7, 3), false, true)
 	// The lazy remove/revive/retire sequence.
 	if !r.CASMarkValid(false, true, false, false) {
 		t.Fatal("invalidate failed")
@@ -82,7 +115,7 @@ func TestPackedCASMarkValid(t *testing.T) {
 	if r.CASMarkValid(false, false, false, true) {
 		t.Fatal("revive of a marked reference succeeded")
 	}
-	if got := r.Load(); got.Index != 7 || !got.Marked || got.Valid {
+	if got := r.Load(); got.Index() != 7 || got.Gen() != 3 || !got.Marked || got.Valid {
 		t.Fatalf("final state = %+v", got)
 	}
 }
@@ -90,8 +123,8 @@ func TestPackedCASMarkValid(t *testing.T) {
 func TestPackedCASSnapshot(t *testing.T) {
 	var r PackedRef
 	r.Init(3, false, true)
-	exp := PackedSnapshot{Index: 3, Marked: false, Valid: true}
-	want := PackedSnapshot{Index: 9, Marked: false, Valid: true}
+	exp := PackedSnapshot{Ref: 3, Marked: false, Valid: true}
+	want := PackedSnapshot{Ref: MakeRef(9, 1), Marked: false, Valid: true}
 	if !r.CASSnapshot(exp, want) {
 		t.Fatal("CASSnapshot with exact state failed")
 	}
@@ -125,8 +158,8 @@ func TestPackedMarkWins(t *testing.T) {
 		if !got.Marked {
 			t.Fatal("mark lost")
 		}
-		if got.Index != 1 && got.Index != 2 {
-			t.Fatalf("index = %d", got.Index)
+		if got.Index() != 1 && got.Index() != 2 {
+			t.Fatalf("index = %d", got.Index())
 		}
 	}
 }
@@ -134,14 +167,22 @@ func TestPackedMarkWins(t *testing.T) {
 // TestPackedVsCellDifferential drives the same randomized operation sequence
 // through a PackedRef and a cell-based Ref and asserts snapshot-for-snapshot
 // equality after every step. Successors are drawn from a small pool mapped
-// 1:1 between index space (i+1) and pointer space (&pool[i]).
+// 1:1 between slot-reference space (index i+1, generation i%3) and pointer
+// space (&pool[i]) — the varying generations keep the tag honest in the
+// word-compare paths.
 func TestPackedVsCellDifferential(t *testing.T) {
 	pool := make([]item, 8)
-	toPtr := func(idx uint32) *item {
-		if idx == 0 {
+	toRef := func(i uint32) uint64 {
+		if i == 0 {
+			return 0
+		}
+		return MakeRef(i, (i-1)%3)
+	}
+	toPtr := func(i uint32) *item {
+		if i == 0 {
 			return nil
 		}
-		return &pool[idx-1]
+		return &pool[i-1]
 	}
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 100; trial++ {
@@ -157,7 +198,7 @@ func TestPackedVsCellDifferential(t *testing.T) {
 			var okP, okC bool
 			switch rng.Intn(5) {
 			case 0:
-				okP = p.CASNext(a, b)
+				okP = p.CASNext(toRef(a), toRef(b))
 				okC = c.CASNext(toPtr(a), toPtr(b))
 			case 1:
 				okP = p.CASMark(m1, m2)
@@ -170,8 +211,8 @@ func TestPackedVsCellDifferential(t *testing.T) {
 				okC = c.CASMarkValid(m1, v1, m2, v2)
 			case 4:
 				okP = p.CASSnapshot(
-					PackedSnapshot{Index: a, Marked: m1, Valid: v1},
-					PackedSnapshot{Index: b, Marked: m2, Valid: v2},
+					PackedSnapshot{Ref: toRef(a), Marked: m1, Valid: v1},
+					PackedSnapshot{Ref: toRef(b), Marked: m2, Valid: v2},
 				)
 				okC = c.CASSnapshot(
 					Snapshot[item]{Next: toPtr(a), Marked: m1, Valid: v1},
@@ -182,7 +223,7 @@ func TestPackedVsCellDifferential(t *testing.T) {
 				t.Fatalf("trial %d step %d: packed ok=%v cell ok=%v", trial, step, okP, okC)
 			}
 			ps, cs := p.Load(), c.Load()
-			if toPtr(ps.Index) != cs.Next || ps.Marked != cs.Marked || ps.Valid != cs.Valid {
+			if toPtr(ps.Index()) != cs.Next || ps.Marked != cs.Marked || ps.Valid != cs.Valid {
 				t.Fatalf("trial %d step %d: packed %+v cell %+v", trial, step, ps, cs)
 			}
 		}

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"layeredsg/internal/epoch"
 	"layeredsg/internal/local"
 	"layeredsg/internal/maintain"
 	"layeredsg/internal/membership"
@@ -155,6 +156,39 @@ func (r RefMode) String() string {
 	}
 }
 
+// ReclaimMode selects whether the map runs the epoch-based reclamation and
+// snapshot machinery (internal/epoch).
+type ReclaimMode int
+
+const (
+	// ReclaimAuto (the zero value) builds an epoch domain for lazy variants:
+	// operations pin it, MVCC life stamps are maintained, Snapshot works, and
+	// — when the structure is arena-backed and a background maintenance
+	// engine runs — retired nodes' slots return to the arena free lists. Lazy
+	// variants with inline-only maintenance or cell-based references keep the
+	// domain for snapshots but leave slot recycling to Go's GC (cells) or to
+	// nobody (the packed arena grows monotonically, as before this
+	// subsystem). Non-lazy variants never build a domain: removals unlink
+	// promptly and nodes are heap-reclaimed by the GC where applicable.
+	ReclaimAuto ReclaimMode = iota
+	// ReclaimOff builds no domain even for lazy variants: the pre-reclamation
+	// behaviour (arena slots are never freed, Snapshot unavailable), for
+	// ablations and differential tests.
+	ReclaimOff
+)
+
+// String implements fmt.Stringer.
+func (r ReclaimMode) String() string {
+	switch r {
+	case ReclaimAuto:
+		return "auto"
+	case ReclaimOff:
+		return "off"
+	default:
+		return fmt.Sprintf("ReclaimMode(%d)", int(r))
+	}
+}
+
 // Config parameterizes a layered map.
 type Config struct {
 	// Machine supplies the thread count, pinning, and topology; required.
@@ -200,6 +234,9 @@ type Config struct {
 	// Refs selects the node representation: RefAuto (packed wherever the
 	// height fits — the default and the fast path), RefCells, or RefPacked.
 	Refs RefMode
+	// Reclaim selects the epoch/snapshot machinery: ReclaimAuto (on for lazy
+	// variants) or ReclaimOff.
+	Reclaim ReclaimMode
 	// Clock overrides the structure clock (tests); nil uses real time.
 	Clock func() int64
 	// Seed seeds the per-thread RNGs drawing sparse node heights.
@@ -219,6 +256,13 @@ type Map[K cmp.Ordered, V any] struct {
 	// engine is the background maintenance pool, nil under MaintInline or
 	// for non-lazy variants.
 	engine *maintain.Engine[K, V]
+	// domain is the epoch/snapshot domain, nil for non-lazy variants or
+	// ReclaimOff. Handles pin it around operations; snapshots acquire tickets
+	// from it; the maintenance engine drives reclamation through it.
+	domain *epoch.Domain
+	// history preserves pre-revival life intervals for open snapshots (see
+	// snapshot.go); nil exactly when domain is.
+	history *revivalLog[K, V]
 }
 
 // New builds a layered map for the machine's thread count.
@@ -280,7 +324,16 @@ func New[K cmp.Ordered, V any](cfg Config) (*Map[K, V], error) {
 	default:
 		return nil, fmt.Errorf("core: unknown ref mode %d", int(cfg.Refs))
 	}
-	sg, err := skipgraph.New[K, V](skipgraph.Config{
+	if cfg.Reclaim < ReclaimAuto || cfg.Reclaim > ReclaimOff {
+		return nil, fmt.Errorf("core: unknown reclaim mode %d", int(cfg.Reclaim))
+	}
+	var domain *epoch.Domain
+	if cfg.Kind.lazy() && cfg.Reclaim == ReclaimAuto {
+		// Capacity hint: one pin per stripe handle, one per helper plus the
+		// engine's synchronous pin; reader handles grow past it on demand.
+		domain = epoch.NewDomain(threads + cfg.Machine.Topology().Sockets() + 1)
+	}
+	sgCfg := skipgraph.Config{
 		MaxLevel:            maxLevel,
 		Lazy:                cfg.Kind.lazy(),
 		Sparse:              cfg.Kind.sparse(),
@@ -289,7 +342,13 @@ func New[K cmp.Ordered, V any](cfg Config) (*Map[K, V], error) {
 		Clock:               cfg.Clock,
 		PackedRefs:          packed,
 		ArenaShards:         cfg.Machine.Topology().Nodes(),
-	})
+	}
+	if domain != nil {
+		// Gate retirement on snapshot visibility: a node removed at sequence D
+		// stays traversable while any snapshot with sequence < D is live.
+		sgCfg.CanRetire = domain.SafeToRetire
+	}
+	sg, err := skipgraph.New[K, V](sgCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -303,13 +362,23 @@ func New[K cmp.Ordered, V any](cfg Config) (*Map[K, V], error) {
 			cfg.Tracer.SetArenaStats(func() obs.ArenaSnapshot {
 				st := sg.ArenaStats()
 				out := obs.ArenaSnapshot{
-					Shards:        make([]obs.ArenaShardSnapshot, len(st.Shards)),
-					Chunks:        st.Chunks,
-					SlotsUsed:     st.SlotsUsed,
-					SlotsReserved: st.SlotsReserved,
+					Shards:         make([]obs.ArenaShardSnapshot, len(st.Shards)),
+					Chunks:         st.Chunks,
+					SlotsUsed:      st.SlotsUsed,
+					SlotsReserved:  st.SlotsReserved,
+					SlotsFree:      st.SlotsFree,
+					SlotsReclaimed: st.SlotsReclaimed,
+					SlotsReused:    st.SlotsReused,
 				}
 				for i, sh := range st.Shards {
-					out.Shards[i] = obs.ArenaShardSnapshot{Chunks: sh.Chunks, SlotsUsed: sh.SlotsUsed, SlotsReserved: sh.SlotsReserved}
+					out.Shards[i] = obs.ArenaShardSnapshot{
+						Chunks:         sh.Chunks,
+						SlotsUsed:      sh.SlotsUsed,
+						SlotsReserved:  sh.SlotsReserved,
+						SlotsFree:      sh.SlotsFree,
+						SlotsReclaimed: sh.SlotsReclaimed,
+						SlotsReused:    sh.SlotsReused,
+					}
 				}
 				return out
 			})
@@ -322,6 +391,10 @@ func New[K cmp.Ordered, V any](cfg Config) (*Map[K, V], error) {
 		vectors: vectors,
 		handles: make([]*Handle[K, V], threads),
 		jumps:   make([]atomic.Pointer[jumpIndex[K, V]], threads),
+		domain:  domain,
+	}
+	if domain != nil {
+		m.history = newRevivalLog[K, V](domain)
 	}
 	for t := 0; t < threads; t++ {
 		var tr *stats.ThreadRecorder
@@ -338,6 +411,7 @@ func New[K cmp.Ordered, V any](cfg Config) (*Map[K, V], error) {
 			ot:     cfg.Tracer.Stripe(t),
 			res:    sg.NewSearchResult(),
 			rng:    rand.New(rand.NewSource(cfg.Seed + int64(t)*0x5851F42D4C957F2D + 1)),
+			pin:    domain.Register(),
 		}
 	}
 
@@ -365,6 +439,7 @@ func New[K cmp.Ordered, V any](cfg Config) (*Map[K, V], error) {
 			Commission: commission,
 			Recorders:  recorders,
 			Tracer:     cfg.Tracer,
+			Domain:     domain,
 		})
 		if err != nil {
 			return nil, err
@@ -375,7 +450,26 @@ func New[K cmp.Ordered, V any](cfg Config) (*Map[K, V], error) {
 				return eng.EnqueueRetire(n)
 			},
 			EnqueueRelink: eng.EnqueueRelink,
+			EnterLimbo:    eng.EnterLimbo,
 			RetireInline:  cfg.Maintenance == MaintHybrid,
+		})
+	}
+	if cfg.Tracer != nil && domain != nil {
+		// Installed after engine creation so the gauge can fold in limbo depth.
+		eng := m.engine
+		cfg.Tracer.SetEpochStats(func() obs.EpochSnapshot {
+			st := domain.Stats()
+			out := obs.EpochSnapshot{
+				Epoch:         st.Epoch,
+				MinPinned:     st.MinPinned,
+				PinLag:        st.PinLag,
+				Seq:           st.Seq,
+				LiveSnapshots: st.LiveSnapshots,
+			}
+			if eng != nil {
+				out.LimboDepth = eng.LimboDepth()
+			}
+			return out
 		})
 	}
 	return m, nil
@@ -396,11 +490,21 @@ func proxyThread(machine *numa.Machine, numaNode int) int {
 // runs the paper's inline protocol. For tests, benchmarks, and tooling.
 func (m *Map[K, V]) Maintenance() *maintain.Engine[K, V] { return m.engine }
 
+// Domain exposes the epoch/snapshot domain, or nil when reclamation is off.
+// For tests, benchmarks, and the observability layer.
+func (m *Map[K, V]) Domain() *epoch.Domain { return m.domain }
+
 // Close stops the background maintenance engine, draining its queues, and is
 // required for maps built with a non-inline Maintenance policy (helpers
 // otherwise keep running). The map remains usable after Close: deferred
 // maintenance falls back to the paper's inline protocol. Idempotent.
+//
+// With reclamation active, Close first blocks until every open Snapshot has
+// been closed: a snapshot iterator must never observe the engine's teardown
+// reclamation. Callers that cannot rule out abandoned snapshots should close
+// them before Close.
 func (m *Map[K, V]) Close() {
+	m.domain.WaitNoSnapshots()
 	if m.engine != nil {
 		m.engine.Close()
 	}
@@ -462,6 +566,11 @@ type Handle[K cmp.Ordered, V any] struct {
 	ot     *obs.StripeTracer
 	res    *skipgraph.SearchResult[K, V]
 	rng    *rand.Rand
+	// pin is the handle's epoch-domain participant slot (nil without
+	// reclamation), held for the duration of every operation so slots the
+	// operation may dereference cannot be recycled under it. Like the local
+	// structures it is exclusively owned, so Pin/Unpin never race.
+	pin *epoch.Pin
 	// leased asserts the confinement contract at lease boundaries: 0 = free,
 	// 1 = exclusively owned. Checked only in BeginExclusive/EndExclusive so
 	// the per-operation fast paths stay untouched.
@@ -498,26 +607,41 @@ func (h *Handle[K, V]) LocalTreeLen() int { return h.ls.TreeLen() }
 // LocalHashLen returns the hash index's size (tests/metrics).
 func (h *Handle[K, V]) LocalHashLen() int { return h.ls.HashLen() }
 
-// nodeOf extracts the shared node an iterator points at, or nil (meaning:
-// start from the head of this thread's skip list).
+// nodeOf extracts the shared node an iterator points at — validated against
+// its recorded life — or nil (meaning: start from the head of this thread's
+// skip list).
 func (h *Handle[K, V]) nodeOf(it local.Iterator[K, V]) *node.Node[K, V] {
 	if !it.Valid() {
 		return nil
 	}
-	return it.Value()
+	r := it.Value()
+	if !h.usable(r) {
+		return nil
+	}
+	return r.N
 }
 
-// usable reports whether a shared node can seed a search. The paper's Alg. 4
-// admits nodes "not marked at level 0 OR not marked at MaxLevel", but a node
-// whose level-0 reference is already marked has that reference *frozen*: a
-// search entering level 0 with it as predecessor can bypass nodes inserted
-// (next to a live predecessor) after the freeze — including inserts that
-// completed before the current operation began, which would break
-// linearizability. Requiring the start to be observed unmarked at level 0
-// within the current operation closes the window: any later freeze overlaps
-// the operation, so a miss can be linearized before the racing insert.
-func (h *Handle[K, V]) usable(sn *node.Node[K, V]) bool {
-	return !sn.Marked(0, h.tr)
+// usable reports whether a local entry's shared node can seed a search. The
+// paper's Alg. 4 admits nodes "not marked at level 0 OR not marked at
+// MaxLevel", but a node whose level-0 reference is already marked has that
+// reference *frozen*: a search entering level 0 with it as predecessor can
+// bypass nodes inserted (next to a live predecessor) after the freeze —
+// including inserts that completed before the current operation began, which
+// would break linearizability. Requiring the start to be observed unmarked at
+// level 0 within the current operation closes the window: any later freeze
+// overlaps the operation, so a miss can be linearized before the racing
+// insert.
+//
+// With reclamation active the check is node.LiveAs — the same unmarked
+// observation plus the life-ID match proving the slot has not been recycled
+// since the entry was recorded. It runs under the handle's pin (taken by the
+// operation wrappers), which is what keeps a true result trustworthy until
+// the operation ends.
+func (h *Handle[K, V]) usable(r local.Ref[K, V]) bool {
+	if h.m.domain != nil {
+		return r.N.LiveAs(r.ID, h.tr)
+	}
+	return !r.N.Marked(0, h.tr)
 }
 
 // getStart is the paper's Alg. 4: find the closest preceding local entry
@@ -526,17 +650,19 @@ func (h *Handle[K, V]) usable(sn *node.Node[K, V]) bool {
 func (h *Handle[K, V]) getStart(key K) local.Iterator[K, V] {
 	it := h.ls.Floor(key)
 	for it.Valid() {
-		sn := it.Value()
-		if h.usable(sn) {
+		r := it.Value()
+		sn := r.N
+		if h.usable(r) {
 			if sn.Inserted() {
 				return it // Node already found fully inserted.
 			}
 			if !sn.ClaimFinish() {
-				// A background helper holds the node's finish claim; two
-				// agents running FinishInsert on the same node is unsafe
+				// Another agent holds the node's finish claim (a background
+				// helper, or the reclamation path settling the node's fate);
+				// two agents running FinishInsert on the same node is unsafe
 				// (see node.ClaimFinish). Skip it as a seed — it is not yet
 				// fully inserted — and keep walking, leaving the entry for
-				// when the helper finishes.
+				// when the claim holder finishes.
 				it = it.Prev()
 				continue
 			}
@@ -561,10 +687,10 @@ func (h *Handle[K, V]) getStart(key K) local.Iterator[K, V] {
 // nil, meaning the head).
 func (h *Handle[K, V]) updateStartFrom(it local.Iterator[K, V]) *node.Node[K, V] {
 	for it.Valid() {
-		sn := it.Value()
-		if h.usable(sn) {
-			if sn.Inserted() {
-				return sn
+		r := it.Value()
+		if h.usable(r) {
+			if r.N.Inserted() {
+				return r.N
 			}
 			it = it.Prev()
 			continue
@@ -585,18 +711,29 @@ func (h *Handle[K, V]) updateStartFrom(it local.Iterator[K, V]) *node.Node[K, V]
 func (h *Handle[K, V]) Insert(key K, value V) bool {
 	defer h.tr.Op()
 	h.ot.Begin(obs.OpInsert, h.tr)
+	h.pin.Pin()
 	ok := h.insert(key, value)
+	h.pin.Unpin()
 	h.traceEnd(key, ok)
 	return ok
 }
 
 func (h *Handle[K, V]) insert(key K, value V) bool {
-	if n, ok := h.ls.HashFind(key); ok {
-		done, inserted := h.m.sg.InsertHelper(n, h.tr)
-		if done {
-			return inserted
+	if r, ok := h.ls.HashFind(key); ok {
+		if h.m.domain != nil && !r.N.LiveAs(r.ID, h.tr) {
+			// The recorded life is gone (retired, possibly recycled): the
+			// helper would act on an unrelated occupant. Prune and search.
+			h.ls.Erase(key)
+		} else {
+			done, inserted := h.m.sg.InsertHelper(r.N, h.tr)
+			if done {
+				if inserted {
+					h.m.stampRevive(r.N, h.tr)
+				}
+				return inserted
+			}
+			h.ls.Erase(key) // The node is marked; prune and fall through.
 		}
-		h.ls.Erase(key) // The node is marked; prune and fall through.
 	}
 	return h.lazyInsert(key, value)
 }
@@ -612,6 +749,7 @@ func (h *Handle[K, V]) lazyInsert(key K, value V) bool {
 			done, inserted := h.m.sg.InsertHelper(h.res.Succs[0], h.tr)
 			if done {
 				if inserted {
+					h.m.stampRevive(h.res.Succs[0], h.tr)
 					h.adopt(key, h.res.Succs[0])
 				}
 				return inserted
@@ -626,6 +764,7 @@ func (h *Handle[K, V]) lazyInsert(key K, value V) bool {
 		}
 		start = h.updateStartFrom(it) // Alg. 3 line 15.
 	}
+	h.m.stampFreshBorn(toInsert)
 	h.afterBottomLink(key, toInsert, it)
 	return true
 }
@@ -677,24 +816,33 @@ func (h *Handle[K, V]) adopt(key K, n *node.Node[K, V]) {
 func (h *Handle[K, V]) Remove(key K) bool {
 	defer h.tr.Op()
 	h.ot.Begin(obs.OpRemove, h.tr)
+	h.pin.Pin()
 	ok := h.remove(key)
+	h.pin.Unpin()
 	h.traceEnd(key, ok)
 	return ok
 }
 
 func (h *Handle[K, V]) remove(key K) bool {
-	if n, ok := h.ls.HashFind(key); ok {
-		done, removed := h.m.sg.RemoveHelper(n, h.tr)
-		if done {
-			if removed && !h.m.sg.Lazy() {
-				// Non-lazy removal marks the node; prune eagerly. The lazy
-				// protocol keeps the mapping (the node may be revived) and
-				// prunes on later detection.
-				h.ls.Erase(key)
+	if r, ok := h.ls.HashFind(key); ok {
+		if h.m.domain != nil && !r.N.LiveAs(r.ID, h.tr) {
+			h.ls.Erase(key) // Recorded life gone; prune and search.
+		} else {
+			done, removed := h.m.sg.RemoveHelper(r.N, h.tr)
+			if done {
+				if removed {
+					h.m.stampDead(r.N, h.tr)
+					if !h.m.sg.Lazy() {
+						// Non-lazy removal marks the node; prune eagerly. The
+						// lazy protocol keeps the mapping (the node may be
+						// revived) and prunes on later detection.
+						h.ls.Erase(key)
+					}
+				}
+				return removed
 			}
-			return removed
+			h.ls.Erase(key) // Marked; prune and fall through.
 		}
-		h.ls.Erase(key) // Marked; prune and fall through.
 	}
 	return h.lazyRemove(key)
 }
@@ -711,6 +859,9 @@ func (h *Handle[K, V]) lazyRemove(key K) bool {
 		}
 		done, removed := h.m.sg.RemoveHelper(found, h.tr)
 		if done {
+			if removed {
+				h.m.stampDead(found, h.tr)
+			}
 			return removed
 		}
 		start = h.updateStartFrom(it) // found became marked; retry (R-iii).
@@ -728,15 +879,18 @@ func (h *Handle[K, V]) Contains(key K) bool {
 func (h *Handle[K, V]) Get(key K) (V, bool) {
 	defer h.tr.Op()
 	h.ot.Begin(obs.OpGet, h.tr)
+	h.pin.Pin()
 	v, ok := h.get(key)
+	h.pin.Unpin()
 	h.traceEnd(key, ok)
 	return v, ok
 }
 
 func (h *Handle[K, V]) get(key K) (V, bool) {
 	var zero V
-	if n, ok := h.ls.HashFind(key); ok {
-		if !n.Marked(0, h.tr) {
+	if r, ok := h.ls.HashFind(key); ok {
+		n := r.N
+		if h.usable(r) {
 			marked, valid := n.MarkValid(0, h.tr)
 			if !marked {
 				if valid {
@@ -745,7 +899,7 @@ func (h *Handle[K, V]) get(key K) (V, bool) {
 				return zero, false // Unmarked invalid: logically absent.
 			}
 		}
-		h.ls.Erase(key) // Marked; prune and search globally.
+		h.ls.Erase(key) // Marked (or life gone); prune and search globally.
 	}
 	it := h.getStart(key)
 	start := h.nodeOf(it)

@@ -19,6 +19,8 @@ func (h *Handle[K, V]) Ascend(from K, fn func(key K, value V) bool) {
 	h.tr.Op()
 	h.ot.Begin(obs.OpScan, h.tr)
 	defer h.traceEnd(from, true)
+	h.pin.Pin()
+	defer h.pin.Unpin()
 	sg := h.m.sg
 	it := h.getStart(from)
 	// Only the bottom head fronts the level-0 list; upper-level head

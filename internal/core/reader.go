@@ -4,6 +4,8 @@ import (
 	"cmp"
 	"sort"
 
+	"layeredsg/internal/epoch"
+	"layeredsg/internal/local"
 	"layeredsg/internal/node"
 	"layeredsg/internal/stats"
 )
@@ -16,10 +18,12 @@ import (
 // through the best published pointer. Writers' fast paths are untouched —
 // publication is explicit and costs one sorted copy.
 
-// jumpEntry is one published key → shared-node pointer.
+// jumpEntry is one published key → shared-node pointer, with the life ID
+// captured at publication so readers can reject recycled slots.
 type jumpEntry[K cmp.Ordered, V any] struct {
 	key K
 	n   *node.Node[K, V]
+	id  uint64
 }
 
 // jumpIndex is an immutable snapshot of one thread's ordered local view.
@@ -33,12 +37,14 @@ type jumpIndex[K cmp.Ordered, V any] struct {
 // may go stale — readers re-validate every jump target before use.
 func (h *Handle[K, V]) PublishJumpIndex() {
 	entries := make([]jumpEntry[K, V], 0, h.ls.TreeLen())
-	h.ls.Ascend(func(key K, n *node.Node[K, V]) bool {
-		if n.Inserted() && !n.RawMarked(0) {
-			entries = append(entries, jumpEntry[K, V]{key: key, n: n})
+	h.pin.Pin()
+	h.ls.Ascend(func(key K, r local.Ref[K, V]) bool {
+		if h.usable(r) && r.N.Inserted() {
+			entries = append(entries, jumpEntry[K, V]{key: key, n: r.N, id: r.ID})
 		}
 		return true
 	})
+	h.pin.Unpin()
 	h.m.jumps[h.thread].Store(&jumpIndex[K, V]{entries: entries})
 }
 
@@ -49,6 +55,10 @@ func (h *Handle[K, V]) PublishJumpIndex() {
 type ReaderHandle[K cmp.Ordered, V any] struct {
 	m  *Map[K, V]
 	tr *stats.ThreadRecorder
+	// pin is this reader's epoch-domain participant (nil participant when the
+	// map runs without reclamation); held across each read so jump targets
+	// and traversed nodes cannot be recycled mid-operation.
+	pin *epoch.Pin
 }
 
 // ReaderHandle returns a read-only handle attributed to the given logical
@@ -58,7 +68,7 @@ func (m *Map[K, V]) ReaderHandle(thread int) *ReaderHandle[K, V] {
 	if m.cfg.Recorder != nil {
 		tr = m.cfg.Recorder.ThreadRecorder(thread)
 	}
-	return &ReaderHandle[K, V]{m: m, tr: tr}
+	return &ReaderHandle[K, V]{m: m, tr: tr, pin: m.domain.Register()}
 }
 
 // jump returns the closest published shared node strictly preceding key that
@@ -75,10 +85,15 @@ func (r *ReaderHandle[K, V]) jump(key K) *node.Node[K, V] {
 		entries := idx.entries
 		i := sort.Search(len(entries), func(i int) bool { return !(entries[i].key < key) })
 		// entries[i-1] is the floor strictly below key; walk back while the
-		// snapshot entry has been retired since publication.
+		// snapshot entry has been retired (or its slot recycled) since
+		// publication.
 		for j := i - 1; j >= 0; j-- {
 			n := entries[j].n
-			if n.Marked(0, r.tr) {
+			if r.m.domain != nil {
+				if !n.LiveAs(entries[j].id, r.tr) {
+					continue
+				}
+			} else if n.Marked(0, r.tr) {
 				continue
 			}
 			if best == nil || bestKey < entries[j].key {
@@ -93,6 +108,8 @@ func (r *ReaderHandle[K, V]) jump(key K) *node.Node[K, V] {
 // Get returns the value stored under key.
 func (r *ReaderHandle[K, V]) Get(key K) (V, bool) {
 	r.tr.Op()
+	r.pin.Pin()
+	defer r.pin.Unpin()
 	var zero V
 	sg := r.m.sg
 	found, ok := sg.RetireSearch(key, r.jump(key), 0, r.tr)

@@ -35,6 +35,12 @@ const (
 	// Recorder.RecordScan for why the decomposition is sound. A Scan applies
 	// to the abstract set exactly like Contains.
 	Scan
+	// Snap is one atomic snapshot observation: a single op attesting, for
+	// every key in Op.Space, whether the snapshot saw it (membership in
+	// Op.Observed). Unlike the decomposed Scan, all of a Snap's per-key
+	// observations must hold at one linearization point. See
+	// Recorder.RecordSnapshot for the real-time weakening it gets.
+	Snap
 )
 
 // String implements fmt.Stringer.
@@ -48,6 +54,8 @@ func (k Kind) String() string {
 		return "contains"
 	case Scan:
 		return "scan"
+	case Snap:
+		return "snap"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -66,9 +74,22 @@ type Op struct {
 	Return int64
 	// Thread labels the recording thread (diagnostics only).
 	Thread int
+	// Space and Observed describe a Snap op: the key space the snapshot
+	// attested to and the subset it saw as present. Nil for other kinds.
+	Space    []int64
+	Observed map[int64]bool
 }
 
 func (o Op) String() string {
+	if o.Kind == Snap {
+		var seen []int64
+		for _, k := range o.Space {
+			if o.Observed[k] {
+				seen = append(seen, k)
+			}
+		}
+		return fmt.Sprintf("t%d snap%v=%v [%d,%d]", o.Thread, o.Space, seen, o.Call, o.Return)
+	}
 	return fmt.Sprintf("t%d %s(%d)=%v [%d,%d]", o.Thread, o.Kind, o.Key, o.Result, o.Call, o.Return)
 }
 
@@ -160,6 +181,34 @@ func (r *Recorder) RecordScan(from, to int64, fn func(observe func(key int64))) 
 	}
 }
 
+// RecordSnapshot wraps one consistent snapshot read over the keys in space:
+// fn runs the snapshot and reports every key it sees through observe, and a
+// single Snap op attesting to all of space atomically is recorded.
+//
+// The op's invocation is recorded as the history's origin (Call 0) rather
+// than the real invocation time: the map's snapshots are *snapshot
+// isolated*, not realtime linearizable — acquisition draws the current
+// mutation-stamp sequence, and a mutation whose linearization CAS landed
+// before the acquisition may draw its stamp just after it, so the snapshot's
+// cut can sit slightly *earlier* in real time than its invocation. The
+// drift is one-sided: mutation stamps are drawn inside their op windows, so
+// a snapshot can never observe a mutation that had not started, and the cut
+// it observes is always an exact prefix of the stamp order. Letting the
+// checker linearize the acquisition early — but never later than its Return,
+// and never out of order with the observations themselves — verifies exactly
+// that contract.
+func (r *Recorder) RecordSnapshot(space []int64, fn func(observe func(key int64))) {
+	observed := make(map[int64]bool, len(space))
+	fn(func(key int64) { observed[key] = true })
+	ret := r.h.clock.Add(1)
+	t := r.h.ops[r.thread]
+	t.ops = append(t.ops, Op{
+		Kind: Snap, Result: true,
+		Call: 0, Return: ret, Thread: r.thread,
+		Space: space, Observed: observed,
+	})
+}
+
 // Result reports a check outcome.
 type Result struct {
 	// Linearizable is true when a valid sequential order exists.
@@ -217,11 +266,21 @@ func Check(ops []Op) Result {
 func distinctKeys(ops []Op) []int64 {
 	seen := map[int64]bool{}
 	var keys []int64
-	for _, o := range ops {
-		if !seen[o.Key] {
-			seen[o.Key] = true
-			keys = append(keys, o.Key)
+	add := func(k int64) {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
 		}
+	}
+	for _, o := range ops {
+		if o.Kind == Snap {
+			// A Snap attests to its whole space, including never-mutated keys.
+			for _, k := range o.Space {
+				add(k)
+			}
+			continue
+		}
+		add(o.Key)
 	}
 	return keys
 }
@@ -304,6 +363,16 @@ func (c *checker) apply(state uint32, op Op) (uint32, bool) {
 	case Contains, Scan:
 		if op.Result != present {
 			return 0, false
+		}
+		return state, true
+	case Snap:
+		// Every attested key must match the abstract state at this single
+		// point.
+		for _, k := range op.Space {
+			kbit := uint32(1) << c.keyIdx[k]
+			if (state&kbit != 0) != op.Observed[k] {
+				return 0, false
+			}
 		}
 		return state, true
 	default:

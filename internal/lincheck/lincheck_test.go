@@ -311,3 +311,37 @@ func boolTo64(b bool) int64 {
 	}
 	return 0
 }
+
+// TestSnapAtomicity verifies that a Snap op demands one linearization point
+// for all its per-key observations. The history has insert(1) fully before
+// insert(2); a snapshot observing {2} but not {1} is a torn read — no single
+// point has 2 without 1 — and must be rejected, even though decomposed
+// per-key Scan observations of the same values would pass (key 1 absent
+// early, key 2 present late).
+func TestSnapAtomicity(t *testing.T) {
+	ops := []Op{
+		{Kind: Insert, Key: 1, Result: true, Call: 1, Return: 2},
+		{Kind: Insert, Key: 2, Result: true, Call: 3, Return: 4},
+		{Kind: Snap, Result: true, Call: 0, Return: 6,
+			Space: []int64{1, 2}, Observed: map[int64]bool{2: true}},
+	}
+	if res := Check(ops); res.Linearizable {
+		t.Fatal("torn snapshot accepted")
+	}
+	// The same history with a consistent cut {1} (before insert(2)) passes.
+	ops[2].Observed = map[int64]bool{1: true}
+	if res := Check(ops); !res.Linearizable {
+		t.Fatal("consistent snapshot rejected")
+	}
+	// As does the full cut {1, 2}.
+	ops[2].Observed = map[int64]bool{1: true, 2: true}
+	if res := Check(ops); !res.Linearizable {
+		t.Fatal("full snapshot rejected")
+	}
+	// And the empty cut (acquisition may linearize before both mutations:
+	// Call 0 grants the one-sided realtime weakening).
+	ops[2].Observed = map[int64]bool{}
+	if res := Check(ops); !res.Linearizable {
+		t.Fatal("empty early snapshot rejected")
+	}
+}

@@ -8,6 +8,12 @@
 // for getStart/updateStart; the hash index provides O(1) hits for the
 // speculative fast paths of insert, remove, and contains. Instances are
 // strictly single-threaded.
+//
+// Entries are Refs, not bare pointers: a local structure outlives the nodes
+// it indexes once epoch-based slot reclamation is active (the owner holds no
+// pin between operations), so every entry carries the life ID captured when
+// it was recorded and consumers must re-validate with node.LiveAs under a
+// pin before dereferencing.
 package local
 
 import (
@@ -17,35 +23,45 @@ import (
 	"layeredsg/internal/rbtree"
 )
 
+// Ref is one local-structure entry: a shared-node pointer plus the life ID
+// it had when recorded. With reclamation active the slot behind N may be
+// freed and recycled at any time; N may be dereferenced only under an epoch
+// pin after node.LiveAs(ID) confirms the life still matches.
+type Ref[K cmp.Ordered, V any] struct {
+	N  *node.Node[K, V]
+	ID uint64
+}
+
 // Structure is one thread's local structure.
 type Structure[K cmp.Ordered, V any] struct {
-	tree *rbtree.Tree[K, *node.Node[K, V]]
-	hash map[K]*node.Node[K, V]
+	tree *rbtree.Tree[K, Ref[K, V]]
+	hash map[K]Ref[K, V]
 }
 
 // Iterator walks the ordered view of the local structure.
-type Iterator[K cmp.Ordered, V any] = rbtree.Iterator[K, *node.Node[K, V]]
+type Iterator[K cmp.Ordered, V any] = rbtree.Iterator[K, Ref[K, V]]
 
 // New returns an empty local structure.
 func New[K cmp.Ordered, V any]() *Structure[K, V] {
 	return &Structure[K, V]{
-		tree: rbtree.New[K, *node.Node[K, V]](),
-		hash: make(map[K]*node.Node[K, V]),
+		tree: rbtree.New[K, Ref[K, V]](),
+		hash: make(map[K]Ref[K, V]),
 	}
 }
 
 // Put records the mapping key → shared node in both the tree and the hash
-// index.
+// index, capturing the node's current life ID.
 func (s *Structure[K, V]) Put(key K, n *node.Node[K, V]) {
-	s.tree.Set(key, n)
-	s.hash[key] = n
+	r := Ref[K, V]{N: n, ID: n.ID()}
+	s.tree.Set(key, r)
+	s.hash[key] = r
 }
 
 // PutHashOnly records the mapping in the hash index only. Sparse skip graphs
 // add to the ordered view only nodes that reached the top level; every owned
 // node may still serve the hash fast paths.
 func (s *Structure[K, V]) PutHashOnly(key K, n *node.Node[K, V]) {
-	s.hash[key] = n
+	s.hash[key] = Ref[K, V]{N: n, ID: n.ID()}
 }
 
 // Erase removes the mapping from both views.
@@ -55,9 +71,9 @@ func (s *Structure[K, V]) Erase(key K) {
 }
 
 // HashFind consults the hash index.
-func (s *Structure[K, V]) HashFind(key K) (*node.Node[K, V], bool) {
-	n, ok := s.hash[key]
-	return n, ok
+func (s *Structure[K, V]) HashFind(key K) (Ref[K, V], bool) {
+	r, ok := s.hash[key]
+	return r, ok
 }
 
 // Floor returns an iterator at the greatest tree entry with key' <= key (the
@@ -73,6 +89,6 @@ func (s *Structure[K, V]) TreeLen() int { return s.tree.Len() }
 func (s *Structure[K, V]) HashLen() int { return len(s.hash) }
 
 // Ascend visits the ordered view in key order until fn returns false.
-func (s *Structure[K, V]) Ascend(fn func(K, *node.Node[K, V]) bool) {
+func (s *Structure[K, V]) Ascend(fn func(K, Ref[K, V]) bool) {
 	s.tree.Ascend(fn)
 }

@@ -14,10 +14,10 @@ func TestPutEraseBothViews(t *testing.T) {
 	s := New[int64, int64]()
 	n := mkNode(10)
 	s.Put(10, n)
-	if got, ok := s.HashFind(10); !ok || got != n {
+	if got, ok := s.HashFind(10); !ok || got.N != n || got.ID != n.ID() {
 		t.Fatal("hash miss after Put")
 	}
-	if it := s.Floor(10); !it.Valid() || it.Value() != n {
+	if it := s.Floor(10); !it.Valid() || it.Value().N != n {
 		t.Fatal("tree miss after Put")
 	}
 	if s.TreeLen() != 1 || s.HashLen() != 1 {
@@ -74,7 +74,7 @@ func TestAscend(t *testing.T) {
 		s.Put(k, mkNode(k))
 	}
 	var got []int64
-	s.Ascend(func(k int64, _ *node.Node[int64, int64]) bool {
+	s.Ascend(func(k int64, _ Ref[int64, int64]) bool {
 		got = append(got, k)
 		return true
 	})

@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"layeredsg/internal/epoch"
 	"layeredsg/internal/node"
 	"layeredsg/internal/numa"
 	"layeredsg/internal/obs"
@@ -72,6 +73,15 @@ type Config[K cmp.Ordered, V any] struct {
 	// Tracer, when non-nil, receives enqueue/drain/steal/drop events and
 	// the queue-depth gauge (internal/obs).
 	Tracer *obs.Tracer
+	// Domain, when non-nil, enables epoch-based slot reclamation: helpers
+	// pin the domain around every traversal, fully unlinked retired nodes
+	// pass through a limbo list, and their arena slots return to the free
+	// list once every pin from before the hand-off has drained. The engine
+	// registers Helpers()+1 pin participants (one per helper plus one for
+	// synchronous drains). Reclamation additionally requires the structure to be
+	// arena-backed (skipgraph.SG.PackedRefs); otherwise the domain is used
+	// for pinning only and Go's GC reclaims nodes.
+	Domain *epoch.Domain
 	// ParkInterval overrides the idle re-check interval for held retire
 	// items (tests); 0 uses the default.
 	ParkInterval time.Duration
@@ -100,10 +110,54 @@ type Engine[K cmp.Ordered, V any] struct {
 	steals   atomic.Uint64
 	drops    atomic.Uint64
 
+	// Slot reclamation (nil domain or cell-backed structure: reclaim is
+	// false and everything below is dormant). pins[h] is helper h's epoch
+	// pin; syncPin serves Flush and Close's synchronous drains under syncMu.
+	domain  *epoch.Domain
+	reclaim bool
+	pins    []*epoch.Pin
+	syncMu  sync.Mutex
+	syncPin *epoch.Pin
+
+	// held parks popped retire items that cannot resolve yet — still inside
+	// their commission period, or blocked by the MVCC retire gate while a
+	// snapshot is open. The list is engine-wide (not helper-private) so
+	// Flush's synchronous drain reaches items a helper popped first; the
+	// items keep their MaintRetireQueued dedup bit while held.
+	heldMu sync.Mutex
+	held   []item[K, V]
+
+	// limbo holds retired, unlinked nodes waiting out epoch pins taken
+	// before their hand-off; processLimbo re-verifies and frees them.
+	limboMu    sync.Mutex
+	limbo      []limboEntry[K, V]
+	limboDepth atomic.Int64
+	reclaimed  atomic.Uint64
+	restamps   atomic.Uint64
+	staleDrops atomic.Uint64
+
 	wake   chan struct{}
 	stop   chan struct{}
 	closed atomic.Bool
 	done   sync.WaitGroup
+}
+
+// limboEntry is one retired node parked between unlink and slot free. An
+// entry progresses through two states:
+//
+//   - unarmed (epoch == 0): handed off but not yet proven clean. Arming
+//     requires (a) settling the finish-insert claim — winning it, or seeing
+//     the inserted flag set — so no agent can ever install another link to
+//     the node, and (b) a verification walk under the processor's pin
+//     confirming no link remains. Entries that fail either check wait for
+//     the next round.
+//   - armed (epoch != 0): proven clean at the stamped epoch. Every pointer
+//     to the node was obtained by traversing a link that existed before the
+//     stamp, under a pin at most the stamp's epoch; once MinPinned advances
+//     strictly past it the slot is free to recycle, with no re-verification.
+type limboEntry[K cmp.Ordered, V any] struct {
+	n     *node.Node[K, V]
+	epoch uint64
 }
 
 // New builds and starts an engine: queues sized to the machine's threads,
@@ -139,9 +193,16 @@ func New[K cmp.Ordered, V any](cfg Config[K, V]) (*Engine[K, V], error) {
 		trs:          make([]*stats.ThreadRecorder, helpers),
 		tracer:       cfg.Tracer,
 		parkInterval: park,
+		domain:       cfg.Domain,
+		reclaim:      cfg.Domain != nil && cfg.SG.PackedRefs(),
+		pins:         make([]*epoch.Pin, helpers),
 		wake:         make(chan struct{}, helpers),
 		stop:         make(chan struct{}),
 	}
+	for h := 0; h < helpers; h++ {
+		e.pins[h] = cfg.Domain.Register()
+	}
+	e.syncPin = cfg.Domain.Register()
 	for t := 0; t < threads; t++ {
 		e.queues[t].buf = make([]item[K, V], queueCap)
 		e.queues[t].numaNode = cfg.Machine.NodeOf(t)
@@ -194,6 +255,16 @@ type Stats struct {
 	Drops uint64
 	// QueueDepth is the current total queue length.
 	QueueDepth int64
+	// LimboDepth is the number of retired nodes currently awaiting slot
+	// reclamation; Reclaimed counts slots returned to the arena free lists.
+	LimboDepth int64
+	Reclaimed  uint64
+	// Restamps counts limbo entries found re-linked at reclamation time and
+	// sent around for another epoch round; StaleDrops counts queued items
+	// dropped because their node entered limbo (or its slot was recycled)
+	// before execution. Both are zero with reclamation off.
+	Restamps   uint64
+	StaleDrops uint64
 }
 
 // Stats snapshots the engine counters.
@@ -204,8 +275,18 @@ func (e *Engine[K, V]) Stats() Stats {
 		Steals:     e.steals.Load(),
 		Drops:      e.drops.Load(),
 		QueueDepth: e.depth.Load(),
+		LimboDepth: e.limboDepth.Load(),
+		Reclaimed:  e.reclaimed.Load(),
+		Restamps:   e.restamps.Load(),
+		StaleDrops: e.staleDrops.Load(),
 	}
 }
+
+// LimboDepth gauges the number of retired nodes awaiting slot reclamation.
+func (e *Engine[K, V]) LimboDepth() int64 { return e.limboDepth.Load() }
+
+// Reclaiming reports whether epoch-based slot reclamation is active.
+func (e *Engine[K, V]) Reclaiming() bool { return e.reclaim }
 
 // stripeOf keys a node's work to its owner stripe, so socket-local helpers
 // pick it up and the maintenance CAS stays NUMA-local.
@@ -240,6 +321,10 @@ func (e *Engine[K, V]) enqueue(it item[K, V], bit uint32) bool {
 	if e.closed.Load() {
 		return false
 	}
+	// Enqueuers always hold the node legitimately (they observed it under
+	// their own epoch pin, or own it), so the ID captured here is the ID of
+	// the life the work item is about.
+	it.id = it.n.ID()
 	if !it.n.TrySetMaint(bit) {
 		// Already queued (or, for finish items, already claimed): the work
 		// is accounted for.
@@ -272,9 +357,62 @@ type worker[K cmp.Ordered, V any] struct {
 	order    []int
 	res      *skipgraph.SearchResult[K, V]
 	tr       *stats.ThreadRecorder
-	// pending holds popped retire items still inside their commission
-	// period, re-checked every park interval.
-	pending []item[K, V]
+	// pin is the worker's epoch pin (nil without a domain): held around
+	// every item execution and every limbo verification walk, so slots the
+	// worker may touch cannot be recycled under it.
+	pin *epoch.Pin
+}
+
+// hold parks a popped retire item on the engine's shared held list.
+func (e *Engine[K, V]) hold(it item[K, V]) {
+	e.heldMu.Lock()
+	e.held = append(e.held, it)
+	e.heldMu.Unlock()
+}
+
+// takeHeld detaches and returns the current held list; the caller owns
+// resolving or re-holding every item.
+func (e *Engine[K, V]) takeHeld() []item[K, V] {
+	e.heldMu.Lock()
+	held := e.held
+	e.held = nil
+	e.heldMu.Unlock()
+	return held
+}
+
+// reHold returns unresolved items to the held list.
+func (e *Engine[K, V]) reHold(items []item[K, V]) {
+	if len(items) == 0 {
+		return
+	}
+	e.heldMu.Lock()
+	e.held = append(e.held, items...)
+	e.heldMu.Unlock()
+}
+
+func (e *Engine[K, V]) heldLen() int {
+	e.heldMu.Lock()
+	n := len(e.held)
+	e.heldMu.Unlock()
+	return n
+}
+
+// stale reports whether a work item's node pointer has outlived the node:
+// the slot was handed to limbo (and may be recycled as soon as pre-hand-off
+// pins drain) or was already recycled into a new life (ID mismatch). Must be
+// called under the worker's pin: a limbo hand-off after a false result is
+// stamped at an epoch our pin holds back, so the result stays trustworthy
+// until Unpin.
+func (w *worker[K, V]) stale(it item[K, V]) bool {
+	if !w.e.reclaim {
+		return false
+	}
+	if it.n.ID() != it.id || it.n.MaintHas(node.MaintLimbo) {
+		w.e.staleDrops.Add(1)
+		w.e.tracer.RecordMaint(obs.MaintStaleDrop)
+		return true
+	}
+	return false
 }
 
 // run is a helper goroutine's main loop: drain, then park until woken (or
@@ -287,16 +425,26 @@ func (e *Engine[K, V]) run(h int) {
 		order:    e.order[h],
 		res:      e.sg.NewSearchResult(),
 		tr:       e.trs[h],
+		pin:      e.pins[h],
 	}
 	for {
 		worked := w.drainPass(false)
 		if w.drainPending() {
 			worked = true
 		}
+		if e.reclaim {
+			// Advancing between passes is what lets limbo entries age out:
+			// MinPinned can only pass an entry's stamp once the global epoch
+			// has moved beyond it.
+			e.domain.Advance()
+			if w.processLimbo() {
+				worked = true
+			}
+		}
 		if worked {
 			continue
 		}
-		if len(w.pending) > 0 {
+		if e.heldLen() > 0 || e.limboDepth.Load() > 0 {
 			timer := time.NewTimer(e.parkInterval)
 			select {
 			case <-e.stop:
@@ -337,15 +485,20 @@ func (w *worker[K, V]) drainPass(force bool) bool {
 	return worked
 }
 
-// execute runs one work item. ownerNode is the item's queue socket (-1 to
-// skip steal accounting).
+// execute runs one work item under the worker's epoch pin. ownerNode is the
+// item's queue socket (-1 to skip steal accounting).
 func (w *worker[K, V]) execute(it item[K, V], ownerNode int, force bool) {
 	e := w.e
+	w.pin.Pin()
+	defer w.pin.Unpin()
+	if w.stale(it) {
+		return
+	}
 	if it.kind == RetireItem && !force {
 		if marked, valid := it.n.RawMarkValid(); !marked && !valid && e.sg.Now() < it.readyAt {
-			// Still in its commission period: hold it locally so a revival
-			// can still happen in place, and re-check after parking.
-			w.pending = append(w.pending, it)
+			// Still in its commission period: hold it so a revival can still
+			// happen in place, and re-check after parking (or under Flush).
+			e.hold(it)
 			return
 		}
 	}
@@ -363,7 +516,11 @@ func (w *worker[K, V]) execute(it item[K, V], ownerNode int, force bool) {
 			e.sg.FinishInsert(it.n, nil, nil, w.res, w.tr)
 		}
 	case RetireItem:
-		w.executeRetire(it)
+		if w.executeRetire(it) {
+			// Gate-blocked: hold like an in-commission item and re-check on
+			// park cycles (drainPending) or under Flush.
+			e.hold(it)
+		}
 	case RelinkItem:
 		// Clear before the cleanup so a chain re-observed mid-cleanup can
 		// re-enqueue the node.
@@ -379,36 +536,174 @@ func (w *worker[K, V]) execute(it item[K, V], ownerNode int, force bool) {
 // search retired it first, e.g. when its enqueue raced Close) still gets the
 // cleanup search: the lazy protocol performs no search-time unlinking, so
 // this item is the only agent guaranteed to unlink it.
-func (w *worker[K, V]) executeRetire(it item[K, V]) {
+//
+// It returns true when the MVCC retire gate blocked the item — a live
+// snapshot predates the node's removal, so it must stay physically
+// traversable (the same gate checkRetire applies inline). The caller owns
+// re-holding a blocked item for retry once the gate opens; the dedup bit
+// stays set meanwhile.
+func (w *worker[K, V]) executeRetire(it item[K, V]) (held bool) {
 	e := w.e
 	marked, valid := it.n.RawMarkValid()
 	if !marked {
 		if valid || e.sg.Now() < it.readyAt {
 			it.n.ClearMaint(node.MaintRetireQueued)
-			return
+			return false
+		}
+		if !e.sg.CanRetireNode(it.n) {
+			return true
 		}
 		if !e.sg.Retire(it.n, w.tr) {
 			// Lost the race: revived, or concurrently retired. Re-read to
 			// tell the two apart.
 			if _, nowValid := it.n.RawMarkValid(); nowValid {
 				it.n.ClearMaint(node.MaintRetireQueued)
-				return
+				return false
 			}
 		}
 	}
 	e.sg.CleanupSearch(it.n.Key(), it.n.Vector(), w.res, w.tr)
+	w.e.enterLimbo(it.n)
+	return false
+}
+
+// EnterLimbo hands a retired (marked) node to the reclamation limbo list,
+// unarmed. It is the hand-off for retirements the engine did not perform
+// itself: searches that retire inline — the hybrid policy, or the fallback
+// when the retire queue is full — would otherwise strand the slot forever,
+// since a marked node can never be re-enqueued for retirement. No-op when
+// reclamation is off or the node is not marked; duplicate hand-offs dedup
+// on the node's limbo bit.
+func (e *Engine[K, V]) EnterLimbo(n *node.Node[K, V]) {
+	e.enterLimbo(n)
+}
+
+// enterLimbo hands a retired (marked) node to the reclamation limbo list,
+// unarmed. Hand-off is unconditional for marked nodes — no reachability
+// check here — because processLimbo performs the full settle/verify/arm
+// sequence before any epoch clock starts ticking toward a free. A hand-off
+// while links remain is safe, just rounds slower.
+func (e *Engine[K, V]) enterLimbo(n *node.Node[K, V]) {
+	if !e.reclaim {
+		return
+	}
+	if marked, _ := n.RawMarkValid(); !marked {
+		return
+	}
+	if !n.TrySetMaint(node.MaintLimbo) {
+		return // already handed off
+	}
+	e.limboMu.Lock()
+	e.limbo = append(e.limbo, limboEntry[K, V]{n: n})
+	e.limboMu.Unlock()
+	e.limboDepth.Add(1)
+	e.tracer.RecordMaint(obs.MaintLimboEnter)
+}
+
+// processLimbo advances every limbo entry one state if it can.
+//
+// Unarmed entries go through the CLEAN protocol before their epoch clock
+// starts:
+//
+//  1. Settle the finish-insert claim. Upper-level links to a node are only
+//     ever installed by the single agent holding its finish claim (inline
+//     owner or helper — the claim bit arbitrates). If the inserted flag is
+//     set, that agent is done forever (every FinishInsert exit sets it); if
+//     we win the claim ourselves, no agent will ever start. A claim held by
+//     an agent that has not yet set the flag means links may still appear:
+//     keep the entry unarmed and retry next round.
+//  2. Verify, under our pin, that no link to the node remains; a resurfaced
+//     node (the claimed finisher linked it after the retire-time cleanup)
+//     gets another cleanup walk and stays unarmed.
+//  3. Arm: stamp the current epoch. From here the node is CLEAN — no link
+//     exists and none can ever be created (cleanup relinks and fresh
+//     bottom-links target only unmarked nodes, revival requires an unmarked
+//     node, and the sole finisher is settled) — so any thread that can still
+//     reach the node followed a link that existed before the stamp, under a
+//     pin at most the stamp's epoch.
+//
+// Armed entries free once MinPinned() moves strictly past their stamp: every
+// pin from before the stamp has drained, later pinners can never reach the
+// node, so the slot returns to the arena free list with no re-verification.
+// MinPinned is sampled once at pass start, before any arming this pass, so a
+// freshly armed entry never frees against a stale sample — it waits for the
+// next pass at the earliest.
+func (w *worker[K, V]) processLimbo() bool {
+	e := w.e
+	if !e.reclaim {
+		return false
+	}
+	e.limboMu.Lock()
+	entries := e.limbo
+	e.limbo = nil
+	e.limboMu.Unlock()
+	if len(entries) == 0 {
+		return false
+	}
+	minPinned := e.domain.MinPinned()
+	worked := false
+	kept := entries[:0]
+	for _, le := range entries {
+		if le.epoch == 0 {
+			if !le.n.Inserted() && !le.n.TrySetMaint(node.MaintFinishClaimed) {
+				// A finisher holds the claim and has not exited yet.
+				kept = append(kept, le)
+				continue
+			}
+			w.pin.Pin()
+			if !e.sg.Unlinked(le.n, w.tr) {
+				e.sg.CleanupSearch(le.n.Key(), le.n.Vector(), w.res, w.tr)
+				e.restamps.Add(1)
+				e.tracer.RecordMaint(obs.MaintRestamp)
+				kept = append(kept, le)
+				w.pin.Unpin()
+				worked = true
+				continue
+			}
+			w.pin.Unpin()
+			le.epoch = e.domain.Epoch()
+			kept = append(kept, le)
+			worked = true
+			continue
+		}
+		if minPinned <= le.epoch {
+			kept = append(kept, le)
+			continue
+		}
+		if e.sg.FreeNode(le.n) {
+			e.reclaimed.Add(1)
+			e.tracer.RecordMaint(obs.MaintReclaim)
+		}
+		e.limboDepth.Add(-1)
+		worked = true
+	}
+	if len(kept) > 0 {
+		e.limboMu.Lock()
+		e.limbo = append(e.limbo, kept...)
+		e.limboMu.Unlock()
+	}
+	return worked
 }
 
 // drainPending re-checks held retire items against the structure clock.
 func (w *worker[K, V]) drainPending() bool {
-	if len(w.pending) == 0 {
+	e := w.e
+	pending := e.takeHeld()
+	if len(pending) == 0 {
 		return false
 	}
-	e := w.e
 	now := e.sg.Now()
 	worked := false
-	kept := w.pending[:0]
-	for _, it := range w.pending {
+	kept := pending[:0]
+	for _, it := range pending {
+		// Held items, like queued ones, are raw pointers without a pin:
+		// re-guard under the pin before touching the node.
+		w.pin.Pin()
+		if w.stale(it) {
+			w.pin.Unpin()
+			worked = true
+			continue
+		}
 		marked, valid := it.n.RawMarkValid()
 		switch {
 		case valid:
@@ -418,39 +713,61 @@ func (w *worker[K, V]) drainPending() bool {
 		case marked || now >= it.readyAt:
 			// Expired, or already retired by someone who cannot unlink it
 			// (an inline hybrid retirement): executeRetire finishes the job.
-			e.drains.Add(1)
-			e.tracer.RecordMaint(obs.MaintDrain)
-			w.executeRetire(it)
-			worked = true
+			// A gate-blocked item stays held without counting as progress, so
+			// the helper parks instead of spinning while a snapshot is open.
+			if w.executeRetire(it) {
+				kept = append(kept, it)
+			} else {
+				e.drains.Add(1)
+				e.tracer.RecordMaint(obs.MaintDrain)
+				worked = true
+			}
 		default:
 			kept = append(kept, it)
 		}
+		w.pin.Unpin()
 	}
-	w.pending = kept
+	e.reHold(kept)
 	return worked
 }
 
-// finalDrain empties the worker's queues and held items on shutdown:
-// finish-insert and relink work completes, expired retires complete, and
-// in-commission retires release their bits for the inline protocol.
+// finalDrain empties the worker's queues and the shared held items on
+// shutdown: finish-insert and relink work completes, expired retires
+// complete, and in-commission retires release their bits for the inline
+// protocol.
 func (w *worker[K, V]) finalDrain() {
 	w.drainPass(true)
-	for _, it := range w.pending {
-		w.e.drains.Add(1)
-		w.e.tracer.RecordMaint(obs.MaintDrain)
-		w.executeRetire(it)
+	for _, it := range w.e.takeHeld() {
+		w.pin.Pin()
+		if !w.stale(it) {
+			w.e.drains.Add(1)
+			w.e.tracer.RecordMaint(obs.MaintDrain)
+			if w.executeRetire(it) {
+				// Gate-blocked at shutdown: release the dedup bit so the
+				// inline protocol can retire the node once the snapshot
+				// closes (Map.Close waits out snapshots before closing the
+				// engine, so this only happens when the engine is closed
+				// directly under a live snapshot).
+				it.n.ClearMaint(node.MaintRetireQueued)
+			}
+		}
+		w.pin.Unpin()
 	}
-	w.pending = nil
 }
 
-// Flush synchronously executes all currently queued work from the calling
-// goroutine — a deterministic alternative to waiting for helpers in tests.
-// Retire items still inside their commission period are requeued rather than
-// held. Returns the number of items executed. Safe concurrently with
-// helpers and operations (the per-node claim/dedup bits arbitrate), but
-// recorded under no thread recorder.
+// Flush synchronously executes all currently queued work — and all held
+// retire items — from the calling goroutine: a deterministic alternative to
+// waiting for helpers in tests. Retire items still inside their commission
+// period are requeued rather than held. With reclamation enabled, Flush also advances the epoch and runs one
+// limbo round, so Manual-mode tests reclaim deterministically (call it until
+// LimboDepth drains). Returns the number of items executed. Safe concurrently
+// with helpers and operations (the per-node claim/dedup bits arbitrate) —
+// concurrent Flush/Close calls serialize on an internal mutex — but recorded
+// under no thread recorder.
 func (e *Engine[K, V]) Flush() int {
-	w := &worker[K, V]{e: e, numaNode: -1, res: e.sg.NewSearchResult()}
+	e.syncMu.Lock()
+	defer e.syncMu.Unlock()
+	w := &worker[K, V]{e: e, numaNode: -1, res: e.sg.NewSearchResult(), pin: e.syncPin}
 	executed := 0
 	var requeue []item[K, V]
 	for qi := range e.queues {
@@ -460,17 +777,56 @@ func (e *Engine[K, V]) Flush() int {
 				break
 			}
 			e.depth.Add(-1)
+			w.pin.Pin()
+			if w.stale(it) {
+				w.pin.Unpin()
+				continue
+			}
 			if it.kind == RetireItem {
 				if marked, valid := it.n.RawMarkValid(); !marked && !valid && e.sg.Now() < it.readyAt {
 					requeue = append(requeue, it)
+					w.pin.Unpin()
 					continue
 				}
 			}
+			if w.executeItem(it) {
+				// Gate-blocked retire: requeue after the pop loop (appending
+				// to the live queue here would make this loop spin forever
+				// while a snapshot is open).
+				requeue = append(requeue, it)
+				w.pin.Unpin()
+				continue
+			}
 			e.drains.Add(1)
 			e.tracer.RecordMaint(obs.MaintDrain)
-			w.executeItem(it)
+			w.pin.Unpin()
 			executed++
 		}
+	}
+	// Drain the shared held list too: items a helper popped but could not
+	// resolve (in-commission at pop time, or gate-blocked by a snapshot)
+	// would otherwise be unreachable here — their dedup bit blocks a
+	// re-enqueue, so a test Flushing in a loop would never converge.
+	for _, it := range e.takeHeld() {
+		w.pin.Pin()
+		if w.stale(it) {
+			w.pin.Unpin()
+			continue
+		}
+		if marked, valid := it.n.RawMarkValid(); !marked && !valid && e.sg.Now() < it.readyAt {
+			requeue = append(requeue, it)
+			w.pin.Unpin()
+			continue
+		}
+		if w.executeItem(it) {
+			requeue = append(requeue, it)
+			w.pin.Unpin()
+			continue
+		}
+		e.drains.Add(1)
+		e.tracer.RecordMaint(obs.MaintDrain)
+		w.pin.Unpin()
+		executed++
 	}
 	for _, it := range requeue {
 		if e.closed.Load() || !e.queues[e.stripeOf(it.n)].tryPush(it) {
@@ -479,23 +835,29 @@ func (e *Engine[K, V]) Flush() int {
 		}
 		e.depth.Add(1)
 	}
+	if e.reclaim {
+		e.domain.Advance()
+		w.processLimbo()
+	}
 	return executed
 }
 
 // executeItem dispatches one item without hold-or-force retire handling
-// (Flush resolved that already).
-func (w *worker[K, V]) executeItem(it item[K, V]) {
+// (Flush resolved that already). It reports whether the MVCC retire gate
+// held the item; the caller owns requeueing it.
+func (w *worker[K, V]) executeItem(it item[K, V]) (held bool) {
 	switch it.kind {
 	case FinishInsertItem:
 		if it.n.TrySetMaint(node.MaintFinishClaimed) && !it.n.Inserted() {
 			w.e.sg.FinishInsert(it.n, nil, nil, w.res, w.tr)
 		}
 	case RetireItem:
-		w.executeRetire(it)
+		return w.executeRetire(it)
 	case RelinkItem:
 		it.n.ClearMaint(node.MaintRelinkQueued)
 		w.e.sg.CleanupSearch(it.n.Key(), it.n.Vector(), w.res, w.tr)
 	}
+	return false
 }
 
 // Close stops accepting work, signals the pool, waits for helpers to
@@ -508,16 +870,26 @@ func (e *Engine[K, V]) Close() {
 	}
 	close(e.stop)
 	e.done.Wait()
+	e.syncMu.Lock()
+	defer e.syncMu.Unlock()
 	w := &worker[K, V]{
 		e:        e,
 		numaNode: -1,
 		order:    make([]int, len(e.queues)),
 		res:      e.sg.NewSearchResult(),
+		pin:      e.syncPin,
 	}
 	for i := range w.order {
 		w.order[i] = i
 	}
 	w.finalDrain()
+	if e.reclaim {
+		// One last limbo round now that the helpers' pins are released.
+		// Entries still held back by a live handle pin are abandoned: the
+		// structure is being torn down and the arena goes with it.
+		e.domain.Advance()
+		w.processLimbo()
+	}
 }
 
 // Closed reports whether Close has begun.

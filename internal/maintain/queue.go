@@ -40,6 +40,13 @@ func (k ItemKind) String() string {
 type item[K cmp.Ordered, V any] struct {
 	kind ItemKind
 	n    *node.Node[K, V]
+	// id is n.ID() captured at enqueue time. Queue items hold raw node
+	// pointers without an epoch pin, so with slot reclamation enabled the
+	// slot behind n may be freed and reallocated while the item waits; a
+	// reallocated slot carries a fresh ID, and the executor drops the item
+	// on mismatch (its dedup bit died with the old life — Arena.Free resets
+	// the maintenance word).
+	id uint64
 	// readyAt is the structure-clock instant a RetireItem becomes
 	// actionable (allocation timestamp + commission period).
 	readyAt int64

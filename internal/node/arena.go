@@ -14,12 +14,18 @@
 // MaxArenaLevels packed level words, so a node and its level references share
 // one contiguous block (no per-node `next` slice, no per-mutation cell).
 //
-// Slots are allocated with a per-shard atomic bump cursor and never freed:
-// the arena keeps every node it ever handed out alive until the whole
-// structure is dropped. Retired nodes therefore cost arena slots, not GC
-// work — the deliberate trade that makes every link mutation allocation-free.
-// Capacity is 2^28 slots per shard; exhaustion panics (it means ~268M
-// insertions through one socket's threads on a single structure).
+// Slots are allocated from a per-shard free list when one is populated, and
+// from a per-shard atomic bump cursor otherwise. Retired nodes return to
+// their shard's free list once the epoch-based reclamation pipeline (see
+// internal/epoch and the maintenance engine) proves them unreachable and
+// every pinned reader has moved past their retire epoch; Free bumps the
+// slot's reuse generation so stale packed references — which embed the
+// generation observed at link time — can never CAS against the slot's next
+// occupant (the ABA guard). Under sustained insert/delete churn the live
+// slot count therefore plateaus at the working set plus the limbo and
+// free-list depths, instead of growing without bound. Capacity is 2^28 slots
+// per shard; exhaustion panics (it means ~268M live-plus-unreclaimed nodes
+// through one socket's threads on a single structure).
 package node
 
 import (
@@ -65,13 +71,22 @@ type arenaSlot[K cmp.Ordered, V any] struct {
 type arenaShard[K cmp.Ordered, V any] struct {
 	_ [64]byte //nolint:unused
 
-	// next is the bump cursor: the number of slots ever allocated from this
-	// shard (slot addresses are monotonic, never reused).
+	// next is the bump cursor: the number of slots ever carved out of this
+	// shard's chunks (slot addresses are monotonic; reuse goes through the
+	// free list instead of rewinding the cursor).
 	next atomic.Uint64
 	// chunks is the published chunk table. Readers resolve indices through
 	// an atomic load; growth replaces the whole table under mu.
 	chunks atomic.Pointer[[][]arenaSlot[K, V]]
 	mu     sync.Mutex
+
+	// free is the shard's reclaimed-slot stack, fed by Free and drained by
+	// alloc. freed counts Free calls cumulatively (reclaimed slots), reused
+	// counts allocations served from the free list.
+	freeMu sync.Mutex
+	free   []uint32
+	freed  atomic.Uint64
+	reused atomic.Uint64
 
 	_ [64]byte //nolint:unused
 }
@@ -104,12 +119,16 @@ func (a *Arena[K, V]) Shards() int { return len(a.shards) }
 
 // alloc carves one slot out of the given shard (clamped into range, so owner
 // NUMA nodes beyond the shard count still allocate, just without locality)
-// and wires the node's arena fields.
+// and wires the node's arena fields. Reclaimed slots are preferred over
+// fresh ones; a reused node keeps the bumped generation Free gave it.
 func (a *Arena[K, V]) alloc(shard int) *Node[K, V] {
 	if shard < 0 || shard >= len(a.shards) {
 		shard = 0
 	}
 	s := &a.shards[shard]
+	if n := a.allocFree(s); n != nil {
+		return n
+	}
 	pos := s.next.Add(1) - 1
 	if pos > arenaPosMask {
 		panic(fmt.Sprintf("node: arena shard %d exhausted (2^%d slots)", shard, arenaPosBits))
@@ -125,6 +144,54 @@ func (a *Arena[K, V]) alloc(shard int) *Node[K, V] {
 	sl.n.self = uint32(shard)<<arenaPosBits | uint32(pos)
 	sl.n.pw = &sl.w
 	return &sl.n
+}
+
+// allocFree pops a reclaimed slot off the shard's free list, or returns nil
+// when the list is empty. The popped node was fully reset by Free and
+// already carries its bumped generation.
+func (a *Arena[K, V]) allocFree(s *arenaShard[K, V]) *Node[K, V] {
+	s.freeMu.Lock()
+	if len(s.free) == 0 {
+		s.freeMu.Unlock()
+		return nil
+	}
+	idx := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	s.freeMu.Unlock()
+	s.reused.Add(1)
+	return a.At(idx)
+}
+
+// Free returns a retired data node's slot to its shard's free list, bumping
+// the slot's reuse generation and resetting all per-life node state. The
+// caller owns the safety argument: the node must be physically unreachable
+// and every reader pinned before its retire epoch must have unpinned (the
+// epoch-based reclamation pipeline establishes both). Sentinels and heap
+// nodes are never freed.
+func (a *Arena[K, V]) Free(n *Node[K, V]) {
+	if n == nil || n.self == 0 || n.kind != Data {
+		panic("node: Free of a sentinel, heap node, or nil")
+	}
+	// Zero the life ID before anything else: stale-pointer holders (local
+	// structures, jump indexes) validate with LiveAs, which loads the marked
+	// word before the ID — so clearing the ID first guarantees no validator
+	// can pair the old ID with this slot's reset (or next life's) words.
+	n.id.Store(0)
+	// Bump the generation: any packed reference still embedding the old
+	// generation is now permanently stale for CAS purposes.
+	n.gen = (n.gen + 1) & atomicmark.PackedGenMask
+	n.inserted.Store(false)
+	n.maint.Store(0)
+	n.born.Store(0)
+	n.dead.Store(0)
+	for i := range n.pw {
+		n.pw[i].Init(0, false, false)
+	}
+	s := &a.shards[n.self>>arenaPosBits]
+	s.freed.Add(1)
+	s.freeMu.Lock()
+	s.free = append(s.free, n.self)
+	s.freeMu.Unlock()
 }
 
 // grow extends the chunk table far enough to cover chunk, publishing the new
@@ -147,7 +214,9 @@ func (s *arenaShard[K, V]) grow(chunk uint64) {
 }
 
 // At resolves an arena index to its node; 0 resolves to nil. The index must
-// have been issued by this arena.
+// have been issued by this arena. Generations are not checked here: a
+// traversal only ever resolves references it loaded while pinned, and the
+// epoch pipeline never recycles a slot out from under a pinned reader.
 func (a *Arena[K, V]) At(idx uint32) *Node[K, V] {
 	if idx == 0 {
 		return nil
@@ -173,11 +242,14 @@ func (a *Arena[K, V]) NewData(key K, value V, topLevel int, vector uint32, owner
 	n.vector = vector
 	n.ownerThread = owner.Thread
 	n.ownerNode = owner.Node
-	n.id = id
 	n.allocTS = allocTS
 	for i := 0; i <= topLevel; i++ {
 		n.pw[i].Init(0, false, true)
 	}
+	// Publish the new life ID only after the words above are initialized:
+	// LiveAs loads marked-then-ID, so an ID match implies the words read
+	// belonged to this same life.
+	n.id.Store(id)
 	return n
 }
 
@@ -191,8 +263,8 @@ func (a *Arena[K, V]) NewHead(level int, label uint32, tail *Node[K, V], id uint
 	n.vector = label
 	n.ownerThread = HeadOwner.Thread
 	n.ownerNode = HeadOwner.Node
-	n.id = id
-	n.pw[0].Init(idxOf(tail), false, true)
+	n.id.Store(id)
+	n.pw[0].Init(refOf(tail), false, true)
 	return n
 }
 
@@ -203,7 +275,7 @@ func (a *Arena[K, V]) NewTail(maxLevel int, id uint64) *Node[K, V] {
 	n.topLevel = int32(maxLevel)
 	n.ownerThread = HeadOwner.Thread
 	n.ownerNode = HeadOwner.Node
-	n.id = id
+	n.id.Store(id)
 	n.pw[0].Init(0, false, true)
 	return n
 }
@@ -212,19 +284,41 @@ func (a *Arena[K, V]) NewTail(maxLevel int, id uint64) *Node[K, V] {
 type ArenaShardStats struct {
 	// Chunks is the number of chunk slabs allocated so far.
 	Chunks int
-	// SlotsUsed is the number of slots handed out (including shard 0's
-	// reserved nil slot).
+	// SlotsUsed is the number of slots ever carved from the bump cursor
+	// (including shard 0's reserved nil slot). Reuse through the free list
+	// does not advance it.
 	SlotsUsed uint64
 	// SlotsReserved is the slot capacity of the allocated chunks.
 	SlotsReserved uint64
+	// SlotsFree is the current depth of the shard's reclaimed-slot free
+	// list.
+	SlotsFree uint64
+	// SlotsReclaimed is the cumulative number of Free calls on this shard.
+	SlotsReclaimed uint64
+	// SlotsReused is the cumulative number of allocations served from the
+	// free list.
+	SlotsReused uint64
 }
 
 // ArenaStats aggregates occupancy over all shards.
 type ArenaStats struct {
-	Shards        []ArenaShardStats
-	Chunks        int
-	SlotsUsed     uint64
-	SlotsReserved uint64
+	Shards         []ArenaShardStats
+	Chunks         int
+	SlotsUsed      uint64
+	SlotsReserved  uint64
+	SlotsFree      uint64
+	SlotsReclaimed uint64
+	SlotsReused    uint64
+}
+
+// SlotsLive is the number of slots currently occupied by a node: carved
+// slots minus those sitting on free lists. Under sustained churn with
+// reclamation active this plateaus instead of tracking SlotsUsed.
+func (st ArenaStats) SlotsLive() uint64 {
+	if st.SlotsFree > st.SlotsUsed {
+		return 0
+	}
+	return st.SlotsUsed - st.SlotsFree
 }
 
 // Stats snapshots the arena's occupancy. Safe to call concurrently with
@@ -233,7 +327,14 @@ func (a *Arena[K, V]) Stats() ArenaStats {
 	st := ArenaStats{Shards: make([]ArenaShardStats, len(a.shards))}
 	for i := range a.shards {
 		s := &a.shards[i]
-		ss := ArenaShardStats{SlotsUsed: s.next.Load()}
+		ss := ArenaShardStats{
+			SlotsUsed:      s.next.Load(),
+			SlotsReclaimed: s.freed.Load(),
+			SlotsReused:    s.reused.Load(),
+		}
+		s.freeMu.Lock()
+		ss.SlotsFree = uint64(len(s.free))
+		s.freeMu.Unlock()
 		if chunks := s.chunks.Load(); chunks != nil {
 			ss.Chunks = len(*chunks)
 			ss.SlotsReserved = uint64(len(*chunks)) * arenaChunkSlots
@@ -246,6 +347,9 @@ func (a *Arena[K, V]) Stats() ArenaStats {
 		st.Chunks += ss.Chunks
 		st.SlotsUsed += ss.SlotsUsed
 		st.SlotsReserved += ss.SlotsReserved
+		st.SlotsFree += ss.SlotsFree
+		st.SlotsReclaimed += ss.SlotsReclaimed
+		st.SlotsReused += ss.SlotsReused
 	}
 	return st
 }

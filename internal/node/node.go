@@ -39,6 +39,7 @@ package node
 
 import (
 	"cmp"
+	"runtime"
 	"sync/atomic"
 
 	"layeredsg/internal/atomicmark"
@@ -77,8 +78,32 @@ type Node[K cmp.Ordered, V any] struct {
 
 	ownerThread int32
 	ownerNode   int32
-	id          uint64
-	allocTS     int64
+	// id is the node's unique life ID: a fresh value every (re)allocation,
+	// zeroed by Arena.Free before the slot's references are reset. Atomic
+	// because local structures and jump indexes validate their raw pointers
+	// against it (see LiveAs) while reclamation rewrites it.
+	id      atomic.Uint64
+	allocTS int64
+
+	// gen is the node's slot reuse generation. Heap nodes and sentinels stay
+	// at 0; arena data nodes carry the generation their slot had when it was
+	// (re)allocated, bumped by Arena.Free. Every packed reference to the node
+	// embeds this value (see refOf), so a CAS expecting a reference captured
+	// before the slot was recycled fails instead of ABA-ing onto the new
+	// occupant. Written only while the slot is unreferenced (allocation and
+	// reclamation are separated by an epoch grace period), read freely.
+	gen uint32
+
+	// born and dead are the node's life interval in mutation-sequence space,
+	// stamped by the layered map for MVCC snapshot reads. born == 0 means the
+	// current life has not been stamped yet (treated as invisible to every
+	// snapshot — the stamp is always drawn after the snapshot's sequence, so
+	// ordering the insert after the snapshot is consistent); dead == 0 means
+	// the current life has no recorded removal. Revivals overwrite the pair
+	// under the MaintLifeLock bit after preserving the old interval in the
+	// map's revival log.
+	born atomic.Uint64
+	dead atomic.Uint64
 
 	inserted atomic.Bool
 
@@ -114,6 +139,16 @@ const (
 	MaintRetireQueued
 	// MaintRelinkQueued: a relink-cleanup work item for this node is pending.
 	MaintRelinkQueued
+	// MaintLifeLock: a micro spin lock serializing life-interval stamping
+	// (revive and remove stamps). Held for a handful of instructions only;
+	// see LockLife/UnlockLife.
+	MaintLifeLock
+	// MaintLimbo: the node has been retired, unlinked, and handed to the
+	// reclamation limbo list; its slot will return to the arena free list
+	// once every epoch pin from before the hand-off has drained. Deferred
+	// work items that find this bit set must drop dead — the slot may be
+	// recycled at any moment after their pin epoch.
+	MaintLimbo
 )
 
 // Owner describes the first-touch ownership of a node.
@@ -141,9 +176,9 @@ func NewData[K cmp.Ordered, V any](key K, value V, topLevel int, vector uint32, 
 		vector:      vector,
 		ownerThread: owner.Thread,
 		ownerNode:   owner.Node,
-		id:          id,
 		allocTS:     allocTS,
 	}
+	n.id.Store(id)
 	n.next = make([]atomicmark.Ref[Node[K, V]], topLevel+1)
 	for i := range n.next {
 		n.next[i].Init(nil, false, true)
@@ -161,8 +196,8 @@ func NewHead[K cmp.Ordered, V any](level int, label uint32, tail *Node[K, V], id
 		vector:      label,
 		ownerThread: HeadOwner.Thread,
 		ownerNode:   HeadOwner.Node,
-		id:          id,
 	}
+	n.id.Store(id)
 	n.next = make([]atomicmark.Ref[Node[K, V]], 1)
 	n.next[0].Init(tail, false, true)
 	return n
@@ -178,8 +213,8 @@ func NewTail[K cmp.Ordered, V any](maxLevel int, id uint64) *Node[K, V] {
 		topLevel:    int32(maxLevel),
 		ownerThread: HeadOwner.Thread,
 		ownerNode:   HeadOwner.Node,
-		id:          id,
 	}
+	n.id.Store(id)
 	n.next = make([]atomicmark.Ref[Node[K, V]], 1)
 	n.next[0].Init(nil, false, true)
 	return n
@@ -209,9 +244,30 @@ func (n *Node[K, V]) OwnerThread() int32 { return n.ownerThread }
 // OwnerNode returns the allocating thread's NUMA node.
 func (n *Node[K, V]) OwnerNode() int32 { return n.ownerNode }
 
-// ID returns the node's unique ID (used as its cache-line address by the
-// cache simulator).
-func (n *Node[K, V]) ID() uint64 { return n.id }
+// ID returns the node's unique life ID (also used as its cache-line address
+// by the cache simulator). Zero means the slot is sitting on a free list.
+func (n *Node[K, V]) ID() uint64 { return n.id.Load() }
+
+// SetID installs a fresh life ID. Only the arena calls this, while the slot
+// is unreferenced.
+func (n *Node[K, V]) SetID(id uint64) { n.id.Store(id) }
+
+// LiveAs reports whether the node is still the same un-retired life that was
+// observed when `id` was captured. Callers holding a raw pointer from a local
+// structure or jump index must gate every dereference on it, under an epoch
+// pin. The load order is what makes the check sound: the marked word is read
+// first, the ID second. Arena.Free zeroes the ID before resetting the packed
+// words and reallocation publishes the new ID only after re-initializing
+// them, so an ID that still matches after an unmarked read belongs to the
+// same life — and an unmarked life observed under a pin cannot be reclaimed
+// until the pin drops (retiring it, a precondition of freeing, stamps a
+// limbo epoch at or after the pin's).
+func (n *Node[K, V]) LiveAs(id uint64, tr *stats.ThreadRecorder) bool {
+	if n.Marked(0, tr) {
+		return false
+	}
+	return n.id.Load() == id
+}
 
 // ArenaIndex returns the node's arena index, or 0 for heap (cell-based)
 // nodes. For tests and tooling.
@@ -226,6 +282,65 @@ func (n *Node[K, V]) Inserted() bool { return n.inserted.Load() }
 
 // MarkInserted records that all levels have been linked.
 func (n *Node[K, V]) MarkInserted() { n.inserted.Store(true) }
+
+// Gen returns the node's slot reuse generation (0 for heap nodes and
+// sentinels).
+func (n *Node[K, V]) Gen() uint32 { return n.gen }
+
+// --- Life-interval stamps (MVCC snapshot visibility) -----------------------
+
+// BornSeq returns the mutation sequence at which the node's current life
+// became visible; 0 when unstamped.
+func (n *Node[K, V]) BornSeq() uint64 { return n.born.Load() }
+
+// DeadSeq returns the mutation sequence at which the node's current life was
+// removed; 0 when the life has no recorded removal.
+func (n *Node[K, V]) DeadSeq() uint64 { return n.dead.Load() }
+
+// DeadSeqRead returns the death stamp, recording a read. The life-stamp wait
+// loops poll through it so the deterministic stepper treats each poll as a
+// step point — an uninstrumented spin would never park, and the thread whose
+// stamp the loop is waiting for would never be scheduled.
+func (n *Node[K, V]) DeadSeqRead(tr *stats.ThreadRecorder) uint64 {
+	n.read(tr)
+	return n.dead.Load()
+}
+
+// StampBornCAS records the birth sequence of a freshly linked node, failing
+// if a racing revive/remove cycle already stamped a newer life (in which case
+// the caller's stamp is obsolete and must be dropped).
+func (n *Node[K, V]) StampBornCAS(seq uint64) bool {
+	return n.born.CompareAndSwap(0, seq)
+}
+
+// SetBorn overwrites the birth stamp. Callers must hold the life lock (or
+// exclusive access to an unpublished node).
+func (n *Node[K, V]) SetBorn(seq uint64) { n.born.Store(seq) }
+
+// SetDead overwrites the death stamp. Callers must hold the life lock (or
+// exclusive access to an unpublished node).
+func (n *Node[K, V]) SetDead(seq uint64) { n.dead.Store(seq) }
+
+// VisibleAt reports whether the node's current life covers snapshot sequence
+// s. Transitional states during a revival err on the side of invisibility,
+// which orders the racing mutation after the snapshot.
+func (n *Node[K, V]) VisibleAt(s uint64) bool {
+	b := n.born.Load()
+	d := n.dead.Load()
+	return b != 0 && b <= s && (d == 0 || d > s)
+}
+
+// LockLife acquires the life-stamp spin lock. Critical sections are a few
+// plain stores; contention requires concurrent revive/remove stamping of one
+// node, so the spin is effectively unbounded-free in practice.
+func (n *Node[K, V]) LockLife() {
+	for !n.TrySetMaint(MaintLifeLock) {
+		runtime.Gosched()
+	}
+}
+
+// UnlockLife releases the life-stamp spin lock.
+func (n *Node[K, V]) UnlockLife() { n.ClearMaint(MaintLifeLock) }
 
 // TrySetMaint atomically sets a maintenance bit, reporting whether this call
 // was the one that set it (false: it was already set).
@@ -256,15 +371,15 @@ func (n *Node[K, V]) MaintHas(bit uint32) bool {
 	return n.maint.Load()&bit != 0
 }
 
-// ClaimFinish arbitrates who runs this node's FinishInsert when a background
-// maintenance engine is active. A node never handed to the engine (no
-// MaintFinishQueued bit) is finished by its owner inline, as always;
-// otherwise exactly one agent — the first to set MaintFinishClaimed — wins.
-// Returns true when the caller may (and must) finish the node.
+// ClaimFinish arbitrates who runs this node's FinishInsert: exactly one
+// agent — the first to set MaintFinishClaimed — wins, whether that is the
+// owner inline, a background helper, or the reclamation path settling the
+// node's fate. Returns true when the caller may (and must) finish the node.
+// The claim is taken even when the node was never handed to a maintenance
+// engine: slot reclamation relies on the bit as the authoritative record
+// that some agent may still be installing upper-level links (see
+// maintain's processLimbo), so finishing without it is never allowed.
 func (n *Node[K, V]) ClaimFinish() bool {
-	if n.maint.Load()&MaintFinishQueued == 0 {
-		return true
-	}
 	return n.TrySetMaint(MaintFinishClaimed)
 }
 
@@ -312,24 +427,25 @@ func (n *Node[K, V]) refIndex(level int) int {
 	}
 }
 
-// idxOf translates a successor pointer into the packed representation's
-// index space. Only arena-backed nodes may circulate inside a packed
+// refOf translates a successor pointer into the packed representation's
+// slot-reference space: the node's arena index tagged with its current reuse
+// generation. Only arena-backed nodes may circulate inside a packed
 // structure; linking a heap node would silently alias nil, so it panics.
-func idxOf[K cmp.Ordered, V any](p *Node[K, V]) uint32 {
+func refOf[K cmp.Ordered, V any](p *Node[K, V]) uint64 {
 	if p == nil {
 		return 0
 	}
 	if p.self == 0 {
 		panic("node: cell-based node linked into an arena-backed structure")
 	}
-	return p.self
+	return atomicmark.MakeRef(p.self, p.gen)
 }
 
 func (n *Node[K, V]) refLoad(level int) atomicmark.Snapshot[Node[K, V]] {
 	i := n.refIndex(level)
 	if n.pw != nil {
 		ps := n.pw[i].Load()
-		return atomicmark.Snapshot[Node[K, V]]{Next: n.ar.At(ps.Index), Marked: ps.Marked, Valid: ps.Valid}
+		return atomicmark.Snapshot[Node[K, V]]{Next: n.ar.At(ps.Index()), Marked: ps.Marked, Valid: ps.Valid}
 	}
 	return n.next[i].Load()
 }
@@ -361,7 +477,7 @@ func (n *Node[K, V]) refMarkValid(level int) (marked, valid bool) {
 func (n *Node[K, V]) refStore(level int, next *Node[K, V], marked, valid bool) {
 	i := n.refIndex(level)
 	if n.pw != nil {
-		n.pw[i].Store(idxOf(next), marked, valid)
+		n.pw[i].Store(refOf(next), marked, valid)
 		return
 	}
 	n.next[i].Store(next, marked, valid)
@@ -370,7 +486,7 @@ func (n *Node[K, V]) refStore(level int, next *Node[K, V], marked, valid bool) {
 func (n *Node[K, V]) refCASNext(level int, exp, next *Node[K, V]) bool {
 	i := n.refIndex(level)
 	if n.pw != nil {
-		return n.pw[i].CASNext(idxOf(exp), idxOf(next))
+		return n.pw[i].CASNext(refOf(exp), refOf(next))
 	}
 	return n.next[i].CASNext(exp, next)
 }
@@ -403,8 +519,8 @@ func (n *Node[K, V]) refCASSnapshot(level int, exp, want atomicmark.Snapshot[Nod
 	i := n.refIndex(level)
 	if n.pw != nil {
 		return n.pw[i].CASSnapshot(
-			atomicmark.PackedSnapshot{Index: idxOf(exp.Next), Marked: exp.Marked, Valid: exp.Valid},
-			atomicmark.PackedSnapshot{Index: idxOf(want.Next), Marked: want.Marked, Valid: want.Valid},
+			atomicmark.PackedSnapshot{Ref: refOf(exp.Next), Marked: exp.Marked, Valid: exp.Valid},
+			atomicmark.PackedSnapshot{Ref: refOf(want.Next), Marked: want.Marked, Valid: want.Valid},
 		)
 	}
 	return n.next[i].CASSnapshot(exp, want)
@@ -413,7 +529,7 @@ func (n *Node[K, V]) refCASSnapshot(level int, exp, want atomicmark.Snapshot[Nod
 // --- Instrumented access functions (the paper's "node access functions") ---
 
 func (n *Node[K, V]) read(tr *stats.ThreadRecorder) {
-	tr.Read(n.ownerThread, n.ownerNode, n.id)
+	tr.Read(n.ownerThread, n.ownerNode, n.id.Load())
 }
 
 // Next returns the level-i successor, recording a read.
@@ -441,7 +557,7 @@ func (n *Node[K, V]) MarkValid(level int, tr *stats.ThreadRecorder) (marked, val
 }
 
 func (n *Node[K, V]) cas(tr *stats.ThreadRecorder, ok bool) bool {
-	tr.CAS(n.ownerThread, n.ownerNode, n.id, ok)
+	tr.CAS(n.ownerThread, n.ownerNode, n.id.Load(), ok)
 	return ok
 }
 

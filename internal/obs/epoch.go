@@ -1,0 +1,49 @@
+package obs
+
+// Epoch/reclamation gauge: maps running with epoch-based slot reclamation
+// (see internal/epoch, DESIGN.md §7) install a stats callback so snapshots
+// report the reclamation pipeline's health — how far the global epoch has
+// advanced, how far the slowest pinned participant lags it, how much retired
+// memory sits in limbo, and how many snapshots are holding reclamation back.
+
+// EpochSnapshot summarizes a structure's epoch domain and reclamation state.
+type EpochSnapshot struct {
+	// Epoch is the current global epoch.
+	Epoch uint64 `json:"epoch"`
+	// MinPinned is the oldest epoch any participant is pinned at (0 when
+	// nothing is pinned).
+	MinPinned uint64 `json:"min_pinned"`
+	// PinLag is Epoch - MinPinned when something is pinned, else 0. A
+	// persistently large lag means a stalled participant is blocking
+	// reclamation.
+	PinLag uint64 `json:"pin_lag"`
+	// Seq is the current mutation sequence (the stamp the next insert or
+	// remove will draw).
+	Seq uint64 `json:"seq"`
+	// LiveSnapshots is the number of open snapshot tickets. Any nonzero
+	// value freezes slot reclamation and retirement of contended nodes.
+	LiveSnapshots int `json:"live_snapshots"`
+	// LimboDepth is the number of retired nodes waiting in limbo for their
+	// grace period to expire.
+	LimboDepth int64 `json:"limbo_depth"`
+}
+
+// SetEpochStats installs the gauge snapshots read for the epoch section of
+// Snapshot. A nil tracer ignores the call.
+func (t *Tracer) SetEpochStats(f func() EpochSnapshot) {
+	if t == nil {
+		return
+	}
+	t.epochStats.Store(&f)
+}
+
+// epochSnapshot builds the Snapshot section, or nil when the structure runs
+// without an epoch domain.
+func (t *Tracer) epochSnapshot() *EpochSnapshot {
+	fn := t.epochStats.Load()
+	if fn == nil {
+		return nil
+	}
+	s := (*fn)()
+	return &s
+}

@@ -19,8 +19,21 @@ const (
 	// MaintDrop: a bounded queue was full and the work fell back to the
 	// inline (search-path) protocol.
 	MaintDrop
+	// MaintLimboEnter: a retired, unlinked node was handed to the
+	// reclamation limbo list to wait out live epoch pins.
+	MaintLimboEnter
+	// MaintReclaim: a limbo node's arena slot was returned to its shard's
+	// free list.
+	MaintReclaim
+	// MaintRestamp: a limbo node was found re-linked at reclamation time
+	// (a racing finish-insert resurfaced it); it was unlinked again and
+	// re-stamped for another epoch round.
+	MaintRestamp
+	// MaintStaleDrop: a queued work item was dropped because its node
+	// entered limbo (or its slot was recycled) before execution.
+	MaintStaleDrop
 
-	nMaintKinds = int(MaintDrop) + 1
+	nMaintKinds = int(MaintStaleDrop) + 1
 )
 
 // String implements fmt.Stringer.
@@ -34,6 +47,14 @@ func (k MaintKind) String() string {
 		return "steal"
 	case MaintDrop:
 		return "drop"
+	case MaintLimboEnter:
+		return "limbo-enter"
+	case MaintReclaim:
+		return "reclaim"
+	case MaintRestamp:
+		return "restamp"
+	case MaintStaleDrop:
+		return "stale-drop"
 	default:
 		return fmt.Sprintf("MaintKind(%d)", int(k))
 	}
@@ -65,6 +86,12 @@ type MaintSnapshot struct {
 	Drains   uint64 `json:"drains"`
 	Steals   uint64 `json:"steals"`
 	Drops    uint64 `json:"drops"`
+	// LimboEnters, Reclaims, Restamps, and StaleDrops count slot-reclamation
+	// events (zero when reclamation is off).
+	LimboEnters uint64 `json:"limbo_enters"`
+	Reclaims    uint64 `json:"reclaims"`
+	Restamps    uint64 `json:"restamps"`
+	StaleDrops  uint64 `json:"stale_drops"`
 	// QueueDepth is the total number of items currently queued across all
 	// stripes (live gauge, independent of Enabled).
 	QueueDepth int64 `json:"queue_depth"`
@@ -75,10 +102,14 @@ type MaintSnapshot struct {
 func (t *Tracer) maintSnapshot() *MaintSnapshot {
 	depthFn := t.queueDepth.Load()
 	s := MaintSnapshot{
-		Enqueues: t.maint[MaintEnqueue].Load(),
-		Drains:   t.maint[MaintDrain].Load(),
-		Steals:   t.maint[MaintSteal].Load(),
-		Drops:    t.maint[MaintDrop].Load(),
+		Enqueues:    t.maint[MaintEnqueue].Load(),
+		Drains:      t.maint[MaintDrain].Load(),
+		Steals:      t.maint[MaintSteal].Load(),
+		Drops:       t.maint[MaintDrop].Load(),
+		LimboEnters: t.maint[MaintLimboEnter].Load(),
+		Reclaims:    t.maint[MaintReclaim].Load(),
+		Restamps:    t.maint[MaintRestamp].Load(),
+		StaleDrops:  t.maint[MaintStaleDrop].Load(),
 	}
 	if depthFn == nil {
 		if s.Enqueues == 0 && s.Drains == 0 && s.Drops == 0 {

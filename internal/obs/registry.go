@@ -85,6 +85,9 @@ type Snapshot struct {
 	// Arena summarizes node-arena occupancy for structures using the packed
 	// representation (nil for cell-based structures).
 	Arena *ArenaSnapshot `json:"arena,omitempty"`
+	// Epoch summarizes the epoch domain and reclamation pipeline, when the
+	// structure reclaims slots (nil otherwise).
+	Epoch *EpochSnapshot `json:"epoch,omitempty"`
 }
 
 // OpSnapshot summarizes one operation kind.
@@ -126,6 +129,7 @@ func (t *Tracer) Snapshot() Snapshot {
 	s.Stripes = t.Stripes()
 	s.Maintenance = t.maintSnapshot()
 	s.Arena = t.arenaSnapshot()
+	s.Epoch = t.epochSnapshot()
 	for k := 1; k < nOpKinds; k++ {
 		m := &t.ops[k]
 		count := m.count.Load()
@@ -174,8 +178,16 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	}
 	if a := s.Arena; a != nil {
 		if _, err := fmt.Fprintf(w,
-			"  arena    shards=%d chunks=%d slots_used=%d slots_reserved=%d\n",
-			len(a.Shards), a.Chunks, a.SlotsUsed, a.SlotsReserved); err != nil {
+			"  arena    shards=%d chunks=%d slots_used=%d slots_reserved=%d slots_live=%d slots_free=%d reclaimed=%d reused=%d\n",
+			len(a.Shards), a.Chunks, a.SlotsUsed, a.SlotsReserved,
+			a.SlotsLive(), a.SlotsFree, a.SlotsReclaimed, a.SlotsReused); err != nil {
+			return err
+		}
+	}
+	if e := s.Epoch; e != nil {
+		if _, err := fmt.Fprintf(w,
+			"  epoch    epoch=%d min_pinned=%d pin_lag=%d seq=%d live_snapshots=%d limbo_depth=%d\n",
+			e.Epoch, e.MinPinned, e.PinLag, e.Seq, e.LiveSnapshots, e.LimboDepth); err != nil {
 			return err
 		}
 	}

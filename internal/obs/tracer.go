@@ -49,6 +49,10 @@ type Tracer struct {
 	// arenaStats, when set, gauges the attached structure's node-arena
 	// occupancy for snapshots (packed representation only).
 	arenaStats atomic.Pointer[func() ArenaSnapshot]
+
+	// epochStats, when set, gauges the attached structure's epoch domain and
+	// reclamation pipeline for snapshots (reclaiming maps only).
+	epochStats atomic.Pointer[func() EpochSnapshot]
 }
 
 // opMetrics aggregates one operation kind across all stripes. Writers are

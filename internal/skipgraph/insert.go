@@ -67,7 +67,11 @@ func (sg *SG[K, V]) FinishInsert(toInsert, start *node.Node[K, V], restart func(
 	}
 	if !sg.LazyRelinkSearch(key, start, vector, res, tr) || res.Succs[0] != toInsert {
 		// The node was marked (or superseded by a fresh node with the same
-		// key) before we could locate it unmarked.
+		// key) before we could locate it unmarked. Setting the inserted flag
+		// here keeps the doc contract above: a claimed finish that aborts must
+		// still leave the flag set, or reclamation could wait forever on a
+		// "mid-flight" finisher that already returned.
+		toInsert.MarkInserted()
 		return false
 	}
 	level := 1
@@ -102,6 +106,7 @@ func (sg *SG[K, V]) FinishInsert(toInsert, start *node.Node[K, V], restart func(
 				fresh = sg.Head(vector)
 			}
 			if !sg.LazyRelinkSearch(key, fresh, vector, res, tr) || res.Succs[0] != toInsert {
+				toInsert.MarkInserted()
 				return false
 			}
 			continue

@@ -217,6 +217,16 @@ func (sg *SG[K, V]) checkRetire(n *node.Node[K, V], now int64, tr *stats.ThreadR
 		}
 		return false
 	}
+	if cr := sg.cfg.CanRetire; cr != nil && !cr(n.DeadSeq()) {
+		// A live snapshot predates this node's removal: it must stay
+		// physically traversable until that snapshot closes. Requeue with the
+		// unexpired deferrals so the engine retries once the gate opens.
+		tr.Deferral()
+		if h := sg.hooks; h != nil && h.EnqueueRetire != nil {
+			h.EnqueueRetire(n, false)
+		}
+		return false
+	}
 	if h := sg.hooks; h != nil && h.EnqueueRetire != nil {
 		// Only a successful enqueue may suppress inline retirement: a
 		// rejected one (full queue, closed engine) falls back inline, so an
@@ -225,7 +235,16 @@ func (sg *SG[K, V]) checkRetire(n *node.Node[K, V], now int64, tr *stats.ThreadR
 			return false
 		}
 	}
-	return sg.Retire(n, tr)
+	if !sg.Retire(n, tr) {
+		return false
+	}
+	if h := sg.hooks; h != nil && h.EnterLimbo != nil {
+		// An inline retirement bypassed the engine's executeRetire, the
+		// usual limbo hand-off; hand the marked node over here or its slot
+		// can never be reclaimed.
+		h.EnterLimbo(n)
+	}
+	return true
 }
 
 // CleanupSearch descends toward key through the skip list `vector` selects,
@@ -255,6 +274,47 @@ func (sg *SG[K, V]) CleanupSearch(key K, vector uint32, res *SearchResult[K, V],
 			}
 		}
 	}
+}
+
+// Unlinked reports whether n — a retired (marked) data node — is physically
+// unreachable from the live structure: a search descending toward its key no
+// longer crosses it at any of its levels, neither as an observed middle nor
+// inside a chain of marked references. Marked references are immutable and
+// lists stay key-ordered across marked nodes, so a targeted descent observes
+// exactly the chains n could inhabit.
+//
+// The answer is instantaneous, not permanent: an in-flight FinishInsert that
+// captured n as a successor before it was marked can still link it
+// afterwards. The maintenance engine therefore re-verifies after every pin
+// from before the first verification has been released (the two-phase limbo
+// protocol) — once no such straggler can exist, an unreachable node can
+// never become reachable again.
+func (sg *SG[K, V]) Unlinked(n *node.Node[K, V], tr *stats.ThreadRecorder) bool {
+	key := n.Key()
+	vector := n.Vector()
+	var now int64
+	if sg.cfg.Lazy {
+		now = sg.Now()
+	}
+	tr.Search()
+	previous := sg.Head(vector)
+	for level := sg.cfg.MaxLevel; level >= 0; level-- {
+		previous = sg.descend(previous, level, vector)
+		prev, originalCurrent, current, _ := sg.scanLevel(key, previous, level, vector, now, tr)
+		previous = prev
+		if level > n.TopLevel() {
+			continue
+		}
+		for c := originalCurrent; c != nil && c != current; c = c.Next(level, tr) {
+			if c == n {
+				return false
+			}
+		}
+		if current == n {
+			return false
+		}
+	}
+	return true
 }
 
 // Retire is the paper's Alg. 15: atomically move the node from (unmarked,

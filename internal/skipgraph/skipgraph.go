@@ -65,15 +65,24 @@ type Config struct {
 	Clock func() int64
 	// PackedRefs selects the arena-backed node representation: nodes come
 	// from per-socket slabs and every level reference is one packed atomic
-	// word (index|marked|valid) instead of a pointer to a heap-allocated
-	// immutable cell — allocation-free link mutations at the cost of arena
-	// slots never being reclaimed before the structure is dropped. Requires
-	// MaxLevel < node.MaxArenaLevels.
+	// word (gen|index|marked|valid) instead of a pointer to a heap-allocated
+	// immutable cell — allocation-free link mutations. Retired nodes' slots
+	// return to their shard's free list through the epoch-based reclamation
+	// pipeline (internal/epoch plus the maintenance engine); the embedded
+	// generation tag keeps recycled indices from ABA-ing stale CASes.
+	// Requires MaxLevel < node.MaxArenaLevels.
 	PackedRefs bool
 	// ArenaShards is the arena shard (socket) count when PackedRefs is set;
 	// <= 0 means one shard. Node owners allocate from the shard matching
 	// their NUMA node, giving first-touch socket locality.
 	ArenaShards int
+	// CanRetire, when non-nil, gates retirement on MVCC snapshot visibility:
+	// checkRetire consults it with the node's death sequence before marking,
+	// and a false answer defers the retirement (the node must stay physically
+	// traversable for a live snapshot older than its removal). The layered
+	// map wires epoch.Domain.SafeToRetire here. Must be safe for concurrent
+	// use.
+	CanRetire func(dead uint64) bool
 }
 
 // Commission-period defaults. The paper's period is proportional to the
@@ -132,6 +141,11 @@ type Hooks[K cmp.Ordered, V any] struct {
 	// references to the engine for off-path physical unlinking (the lazy
 	// protocol performs no search-time cleanup of its own).
 	EnqueueRelink func(n *node.Node[K, V]) bool
+	// EnterLimbo hands a node this search retired inline (the hybrid
+	// policy, or the fallback when EnqueueRetire rejects) to the engine's
+	// reclamation limbo. Without the hand-off a marked node can never be
+	// re-enqueued — its slot would be permanent garbage under reclamation.
+	EnterLimbo func(n *node.Node[K, V])
 	// RetireInline keeps search-path retirement active alongside the
 	// enqueue (the hybrid policy). When false, searches only enqueue:
 	// expired invalid nodes are never retired on the critical path.
@@ -268,6 +282,30 @@ func (sg *SG[K, V]) NewNode(key K, value V, vector uint32, owner node.Owner, top
 // PackedRefs reports whether the structure uses the arena-backed packed
 // level-reference representation.
 func (sg *SG[K, V]) PackedRefs() bool { return sg.arena != nil }
+
+// CanRetireNode reports whether the MVCC retire gate (Config.CanRetire)
+// allows marking n for physical removal right now. Always true without a
+// gate.
+func (sg *SG[K, V]) CanRetireNode(n *node.Node[K, V]) bool {
+	if cr := sg.cfg.CanRetire; cr != nil {
+		return cr(n.DeadSeq())
+	}
+	return true
+}
+
+// FreeNode returns a reclaimed node's slot to its arena shard's free list,
+// reporting whether a slot was actually freed (false for cell-based
+// structures, where dropping references is all the reclamation the Go GC
+// needs). The caller owns the safety argument: the node must have been
+// verified unreachable and every pin from before its retire epoch released —
+// the maintenance engine's limbo pipeline establishes both.
+func (sg *SG[K, V]) FreeNode(n *node.Node[K, V]) bool {
+	if sg.arena == nil {
+		return false
+	}
+	sg.arena.Free(n)
+	return true
+}
 
 // ArenaStats snapshots arena occupancy; the zero value for cell-based
 // structures.

@@ -115,6 +115,26 @@ const (
 	RefPacked = core.RefPacked
 )
 
+// ReclaimMode selects whether retired nodes' arena slots are reclaimed; see
+// Config.Reclaim and DESIGN.md §7.
+type ReclaimMode = core.ReclaimMode
+
+// Slot-reclamation modes.
+const (
+	// ReclaimAuto (the default) reclaims retired slots through the
+	// epoch-based limbo pipeline on lazy variants with a background
+	// maintenance engine, and enables Snapshot / consistent RangeScan.
+	ReclaimAuto = core.ReclaimAuto
+	// ReclaimOff never frees slots (the pre-reclamation behavior): retired
+	// nodes hold their arena slots for the structure's lifetime and
+	// Snapshot is unavailable.
+	ReclaimOff = core.ReclaimOff
+)
+
+// Snapshot is a consistent point-in-time view of a Map; see core.Snapshot
+// and Store.Snapshot.
+type Snapshot[K cmp.Ordered, V any] = core.Snapshot[K, V]
+
 // MaintenancePolicy selects who performs the lazy variants' deferred
 // maintenance work (finishing insertions, retiring expired nodes, unlinking
 // marked chains); see Config.Maintenance.

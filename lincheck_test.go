@@ -104,6 +104,10 @@ func TestStoreLinearizable(t *testing.T) {
 		if err != nil {
 			t.Fatalf("NewStore: %v", err)
 		}
+		snapSpace := make([]int64, keySpace)
+		for k := range snapSpace {
+			snapSpace[k] = int64(k)
+		}
 		h := lincheck.NewHistory(workers)
 		var wg sync.WaitGroup
 		for g := 0; g < workers; g++ {
@@ -114,7 +118,7 @@ func TestStoreLinearizable(t *testing.T) {
 				rng := rand.New(rand.NewSource(int64(round*workers + g)))
 				for i := 0; i < opsPerGor; i++ {
 					key := rng.Int63n(keySpace)
-					switch rng.Intn(6) {
+					switch rng.Intn(7) {
 					case 0:
 						rec.Record(lincheck.Insert, key, func() bool {
 							return st.Insert(key, key)
@@ -145,9 +149,25 @@ func TestStoreLinearizable(t *testing.T) {
 							return l.Handle().Remove(key)
 						})
 						l.Release()
-					default:
+					case 5:
 						rec.RecordScan(0, keySpace-1, func(observe func(int64)) {
 							st.RangeScan(0, keySpace-1, func(k, _ int64) bool {
+								observe(k)
+								return true
+							})
+						})
+					default:
+						// An atomic snapshot read: one Snap op attesting to the
+						// whole key space at a single point (checked under the
+						// snapshot-isolation weakening; see RecordSnapshot).
+						rec.RecordSnapshot(snapSpace, func(observe func(int64)) {
+							snap, err := st.Snapshot()
+							if err != nil {
+								t.Error(err)
+								return
+							}
+							defer snap.Close()
+							snap.Ascend(func(k, _ int64) bool {
 								observe(k)
 								return true
 							})

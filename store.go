@@ -165,14 +165,16 @@ func (s *Store[K, V]) acquireCtx(ctx context.Context) (int, *stripeHint) {
 }
 
 // Close shuts the Store down: it stops admitting new leases, waits for every
-// outstanding lease to be released, then closes the underlying map — which
-// drains and stops the background maintenance engine, when the map was built
-// with a non-inline Maintenance policy. Close is idempotent (concurrent
+// outstanding lease to be released and every open Snapshot to be closed,
+// then closes the underlying map — which drains and stops the background
+// maintenance engine, when the map was built with a non-inline Maintenance
+// policy. A Close with a live snapshot blocks until that snapshot's Close —
+// release snapshots before shutting down. Close is idempotent (concurrent
 // calls block until the first completes) and the contract afterwards is
-// strict: any operation, batch, Do, or Acquire on a closed Store panics with
-// "operation on closed Store". Operations concurrent with Close either
-// complete normally (their lease was won first, delaying Close) or panic;
-// none are silently dropped.
+// strict: any operation, batch, Do, Acquire, or Snapshot on a closed Store
+// panics with "operation on closed Store". Operations concurrent with Close
+// either complete normally (their lease was won first, delaying Close) or
+// panic; none are silently dropped.
 func (s *Store[K, V]) Close() {
 	s.closeMu.Lock()
 	defer s.closeMu.Unlock()
@@ -259,9 +261,28 @@ func (s *Store[K, V]) Remove(key K) bool {
 }
 
 // RangeScan visits logically present entries with from <= key <= to in
-// ascending key order until fn returns false, with Handle.Ascend's weakly
-// consistent semantics. The whole scan runs under one lease.
+// ascending key order until fn returns false.
+//
+// On maps with the epoch machinery (lazy variants with ReclaimAuto, the
+// default), the scan runs on an ephemeral Snapshot: it observes a single
+// consistent point in time — exactly the mutations stamped before it, none
+// after. On other variants it falls back to Handle.Ascend's weakly
+// consistent traversal under one lease, where entries mutated concurrently
+// with the scan may or may not be observed.
 func (s *Store[K, V]) RangeScan(from, to K, fn func(key K, value V) bool) {
+	if s.m.Domain() != nil {
+		snap, err := s.Snapshot()
+		if err == nil {
+			defer snap.Close()
+			snap.AscendFrom(from, func(k K, v V) bool {
+				if to < k {
+					return false
+				}
+				return fn(k, v)
+			})
+			return
+		}
+	}
 	i, hint := s.acquire()
 	defer s.release(i, hint)
 	s.stripes[i].h.Ascend(from, func(k K, v V) bool {
@@ -270,6 +291,21 @@ func (s *Store[K, V]) RangeScan(from, to K, fn func(key K, value V) bool) {
 		}
 		return fn(k, v)
 	})
+}
+
+// Snapshot acquires a consistent point-in-time view of the map (see
+// core.Snapshot): it observes exactly the mutations stamped at or below its
+// sequence, regardless of concurrent writers. Snapshots are only available
+// on maps with the epoch machinery (lazy variants with ReclaimAuto, the
+// default); other configurations return an error.
+//
+// Close every snapshot promptly: an open snapshot freezes slot reclamation,
+// and Store.Close blocks until the last open snapshot is closed.
+func (s *Store[K, V]) Snapshot() (*Snapshot[K, V], error) {
+	if s.closing.Load() {
+		panic("layeredsg: operation on closed Store")
+	}
+	return s.m.Snapshot()
 }
 
 // InsertBatch inserts keys[j] → values[j] for every j under a single lease,
