@@ -16,6 +16,10 @@
 #                   internal/epoch plus the root snapshot, plateau,
 #                   slot-recycle-ABA, and Close-blocks-on-snapshot
 #                   scenarios, and the FuzzSnapshotOps seed corpus
+#   make race-index — race pass over the shared hash index surface:
+#                   internal/hindex plus the root cross-handle, parity,
+#                   stale-generation, and index×reclaim torture scenarios,
+#                   and the FuzzIndexOps seed corpus
 #   make bench    — the Store-overhead benchmark pair (see EXPERIMENTS.md)
 #   make bench-reclaim — the reclamation benchmarks: slot-churn turnover
 #                   and revival with reclamation on/off, snapshot acquire,
@@ -23,16 +27,20 @@
 #   make bench-alloc — the representation benchmarks with -benchmem and
 #                   GODEBUG=gctrace=1, for allocs/op and GC-pause deltas
 #                   (see EXPERIMENTS.md); gctrace logs go to stderr
+#   make bench-json — the fixed sgbench scenario grid (index on/off across
+#                   the paper's contention cells plus a hotspot-skew cell),
+#                   written to BENCH.json for cross-PR diffing
 #   make fuzz-smoke — 30s of coverage-guided fuzzing per fuzz target (the
 #                   go tool accepts one -fuzz pattern per run, hence one
 #                   invocation each); seed-corpus replay is part of plain `test`
 
 GO ?= go
 FUZZTIME ?= 30s
+BENCHJSON ?= BENCH.json
 
-.PHONY: ci build test vet race race-maintain race-refs race-reclaim bench bench-alloc bench-reclaim fuzz-smoke fmt
+.PHONY: ci build test vet race race-maintain race-refs race-reclaim race-index bench bench-alloc bench-reclaim bench-json fuzz-smoke fmt
 
-ci: build test vet race race-maintain race-refs race-reclaim
+ci: build test vet race race-maintain race-refs race-reclaim race-index
 
 build:
 	$(GO) build ./...
@@ -59,6 +67,10 @@ race-reclaim:
 	$(GO) test -race -run 'TestArenaRecycleABA' ./internal/node
 	$(GO) test -race -run 'TestSnapshot|TestReclaimPlateau|TestInlineRetireReachesLimbo|TestStoreCloseBlocksOnSnapshot|FuzzSnapshotOps' .
 
+race-index:
+	$(GO) test -race ./internal/hindex
+	$(GO) test -race -run 'TestIndex|TestTortureIndexReclaim|FuzzIndexOps' .
+
 bench:
 	$(GO) test -run '^$$' -bench 'Store' -benchtime 3x .
 
@@ -70,12 +82,16 @@ bench-reclaim:
 	$(GO) test -run '^$$' -bench 'Reclaim/(turnover|revive)' -benchmem -benchtime 200000x .
 	$(GO) test -run '^$$' -bench 'Reclaim/(snapshot|rangescan)' -benchtime 10000x .
 
+bench-json:
+	$(GO) run ./cmd/sgbench -suite -threads 16 -duration 500ms -runs 2 -json $(BENCHJSON)
+
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSkipGraphOps$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzStoreOps$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzMaintainOps$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzRefRepresentations$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzSnapshotOps$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzIndexOps$$' -fuzztime $(FUZZTIME) .
 
 fmt:
 	gofmt -l .

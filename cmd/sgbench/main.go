@@ -73,6 +73,10 @@ func run(args []string, w io.Writer) error {
 		debugAddr = fs.String("debug-addr", "", "serve /debug/pprof, /debug/vars, /debug/obs, /debug/trace on this address (implies -observe)")
 		maintain  = fs.String("maintain", "inline", "maintenance policy for the lazy layered variants: inline, background, or hybrid")
 		latEvery  = fs.Int("latency-sample", 0, "sample every Nth operation's wall-clock latency and print quantiles (0 disables)")
+		skew      = fs.String("skew", "uniform", "key distribution: uniform, zipf[:s] (Zipfian, exponent s > 1), or hot[:p] (fraction p of ops on the hot 10% of keys)")
+		index     = fs.String("index", "auto", "shared hash index for the layered variants: auto (on) or off")
+		suite     = fs.Bool("suite", false, "run the fixed benchmark scenario grid instead of a single trial (see -json)")
+		jsonOut   = fs.String("json", "", "with -suite: write machine-readable per-scenario results to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,6 +106,29 @@ func run(args []string, w io.Writer) error {
 	default:
 		return fmt.Errorf("unknown -maintain policy %q (want inline, background, or hybrid)", *maintain)
 	}
+	dist, zipfS, hotP, err := parseSkew(*skew)
+	if err != nil {
+		return err
+	}
+	var indexMode layeredsg.IndexMode
+	switch *index {
+	case "auto":
+		indexMode = layeredsg.IndexAuto
+	case "off":
+		indexMode = layeredsg.IndexOff
+	default:
+		return fmt.Errorf("unknown -index mode %q (want auto or off)", *index)
+	}
+	if *suite {
+		return runSuite(w, machine, suiteParams{
+			threads:  *threads,
+			duration: *duration,
+			runs:     *runs,
+			seed:     *seed,
+			yield:    *yield,
+			jsonPath: *jsonOut,
+		})
+	}
 	wl := layeredsg.Workload{
 		KeySpace:        *keySpace,
 		UpdateRatio:     *update,
@@ -110,6 +137,9 @@ func run(args []string, w io.Writer) error {
 		Seed:            *seed,
 		LockOSThread:    *pin,
 		YieldEvery:      *yield,
+		Distribution:    dist,
+		ZipfS:           zipfS,
+		Skew:            hotP,
 		Goroutines:      *workers,
 		LatencySample:   *latEvery,
 	}
@@ -137,6 +167,7 @@ func run(args []string, w io.Writer) error {
 		ViaStore:    *viaStore,
 		Observe:     tracer,
 		Maintenance: policy,
+		Index:       indexMode,
 	}, wl, *runs)
 	if err != nil {
 		return err
@@ -151,6 +182,12 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "effective updates:  %.1f%% (requested %.0f%%)\n", res.EffectiveUpdatePct, *update*100)
 	if *maintain != "inline" {
 		fmt.Fprintf(w, "maintenance:        %s\n", policy)
+	}
+	if *skew != "uniform" {
+		fmt.Fprintf(w, "key distribution:   %s\n", *skew)
+	}
+	if *index != "auto" {
+		fmt.Fprintf(w, "hash index:         %s\n", *index)
 	}
 	if l := res.Latency; l.Count > 0 {
 		fmt.Fprintf(w, "latency (sampled):  p50=%s p90=%s p99=%s p999=%s max=%s (%d samples)\n",

@@ -337,6 +337,98 @@ func replayDifferentialOps(t *testing.T, kind core.Kind, data []byte) {
 	}
 }
 
+// FuzzIndexOps is the differential target for the shared hash index: every
+// sequence runs once with the index on (IndexAuto, the default) and once with
+// it off, under identical deterministic configs. The indexed twin resolves
+// point operations through hindex fast paths — including miss-fallbacks,
+// stale-entry pruning, and index-accelerated revives — while the IndexOff
+// twin always descends; every result must match, and a maintain+reclaim
+// replay covers the generation-tag interaction with slot reuse.
+func FuzzIndexOps(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 3, 1, 2, 1, 3, 1, 0, 1, 3, 1})
+	f.Add([]byte{0, 10, 0, 20, 0, 30, 4, 0, 2, 20, 4, 0, 0, 20, 5, 0})
+	f.Add([]byte{0, 5, 2, 5, 0, 5, 2, 5, 0, 5, 3, 5, 6, 0, 7, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, kind := range fuzzKinds {
+			replayIndexOps(t, kind, data, false)
+		}
+		// Background maintenance + reclamation: retirements reach limbo and
+		// free slots mid-sequence, so indexed refs cross slot-reuse
+		// boundaries and the LiveAs generation check earns its keep.
+		replayIndexOps(t, core.LazyLayeredSG, data, true)
+	})
+}
+
+func replayIndexOps(t *testing.T, kind core.Kind, data []byte, maintained bool) {
+	machine := fuzzMachine(t)
+	var clock atomic.Int64
+	newMap := func(index core.IndexMode) *Map[int64, int64] {
+		cfg := fuzzConfig(machine, kind)
+		cfg.Index = index
+		if maintained {
+			cfg.Maintenance = core.MaintBackground
+			cfg.Clock = func() int64 { return clock.Add(50) }
+		}
+		m, err := New[int64, int64](cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	indexed := newMap(core.IndexAuto)
+	plain := newMap(core.IndexOff)
+	model := map[int64]int64{}
+	thread := 0
+	hi, hp := indexed.Handle(0), plain.Handle(0)
+	for i := 0; i+1 < len(data); i += 2 {
+		sel, kb := data[i], data[i+1]
+		key := int64(kb) % fuzzKeySpace
+		_, present := model[key]
+		switch sel % 7 {
+		case 0, 1:
+			gi, gp := hi.Insert(key, key), hp.Insert(key, key)
+			if gi != gp || gi != !present {
+				t.Fatalf("%v op %d: Insert(%d) indexed=%v plain=%v present=%v", kind, i/2, key, gi, gp, present)
+			}
+			model[key] = key
+		case 2:
+			gi, gp := hi.Remove(key), hp.Remove(key)
+			if gi != gp || gi != present {
+				t.Fatalf("%v op %d: Remove(%d) indexed=%v plain=%v present=%v", kind, i/2, key, gi, gp, present)
+			}
+			delete(model, key)
+		case 3:
+			vi, oki := hi.Get(key)
+			vp, okp := hp.Get(key)
+			if oki != okp || vi != vp || oki != present || (oki && vi != key) {
+				t.Fatalf("%v op %d: Get(%d) indexed=(%d,%v) plain=(%d,%v) present=%v", kind, i/2, key, vi, oki, vp, okp, present)
+			}
+		case 4:
+			gi, gp := hi.Contains(key), hp.Contains(key)
+			if gi != gp || gi != present {
+				t.Fatalf("%v op %d: Contains(%d) indexed=%v plain=%v present=%v", kind, i/2, key, gi, gp, present)
+			}
+		case 5:
+			// Rotate both twins to the next confined handle together, so the
+			// indexed twin serves keys from non-owning stripes — the index's
+			// target path.
+			thread = (thread + 1) % indexed.Threads()
+			hi, hp = indexed.Handle(thread), plain.Handle(thread)
+		case 6:
+			if maintained {
+				// Drain deferred retirements so nodes reach limbo and slots
+				// recycle under live index entries.
+				indexed.Maintenance().Flush()
+				plain.Maintenance().Flush()
+			}
+		}
+	}
+	indexed.Close()
+	plain.Close()
+	checkModel(t, kind, indexed, model)
+	checkModel(t, kind, plain, model)
+}
+
 func FuzzStoreOps(f *testing.F) {
 	f.Add([]byte{0, 1, 0, 2, 3, 1, 2, 1, 5, 9, 6, 3, 7, 3})
 	f.Add([]byte{0, 4, 0, 5, 0, 6, 4, 4, 2, 5, 4, 0, 5, 2})

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"layeredsg/internal/epoch"
+	"layeredsg/internal/hindex"
 	"layeredsg/internal/local"
 	"layeredsg/internal/maintain"
 	"layeredsg/internal/membership"
@@ -189,6 +190,35 @@ func (r ReclaimMode) String() string {
 	}
 }
 
+// IndexMode selects whether the map layers a shared lock-free hash index
+// (internal/hindex) over the skip graph for O(1) point operations.
+type IndexMode int
+
+const (
+	// IndexAuto (the zero value) builds the shared hash index: point
+	// operations (Get/Contains/Insert-revive/Remove) from any stripe resolve
+	// their node in O(1), skipping the descent, and fall back to it only on
+	// miss or when the indexed node cannot serve the operation. Scans and
+	// predecessor queries always use the ordered layer.
+	IndexAuto IndexMode = iota
+	// IndexOff builds no index: every cross-stripe point operation pays a
+	// descent (the pre-index behaviour), for ablations and differential
+	// tests.
+	IndexOff
+)
+
+// String implements fmt.Stringer.
+func (i IndexMode) String() string {
+	switch i {
+	case IndexAuto:
+		return "auto"
+	case IndexOff:
+		return "off"
+	default:
+		return fmt.Sprintf("IndexMode(%d)", int(i))
+	}
+}
+
 // Config parameterizes a layered map.
 type Config struct {
 	// Machine supplies the thread count, pinning, and topology; required.
@@ -237,6 +267,13 @@ type Config struct {
 	// Reclaim selects the epoch/snapshot machinery: ReclaimAuto (on for lazy
 	// variants) or ReclaimOff.
 	Reclaim ReclaimMode
+	// Index selects the shared hash index layer: IndexAuto (on, the default)
+	// or IndexOff.
+	Index IndexMode
+	// IndexSizeHint pre-sizes the hash index's bucket directory for the
+	// expected number of distinct keys; 0 starts at the minimum size and
+	// grows by doubling.
+	IndexSizeHint int
 	// Clock overrides the structure clock (tests); nil uses real time.
 	Clock func() int64
 	// Seed seeds the per-thread RNGs drawing sparse node heights.
@@ -263,6 +300,11 @@ type Map[K cmp.Ordered, V any] struct {
 	// history preserves pre-revival life intervals for open snapshots (see
 	// snapshot.go); nil exactly when domain is.
 	history *revivalLog[K, V]
+	// hidx is the shared hash index layered over the graph, nil under
+	// IndexOff. Point operations from any stripe consult it before paying a
+	// descent; entries are (node, life-ID) pairs re-verified against the
+	// node's marked/valid bits on every hit, so stale entries fail closed.
+	hidx *hindex.Index[K, V]
 }
 
 // New builds a layered map for the machine's thread count.
@@ -326,6 +368,12 @@ func New[K cmp.Ordered, V any](cfg Config) (*Map[K, V], error) {
 	}
 	if cfg.Reclaim < ReclaimAuto || cfg.Reclaim > ReclaimOff {
 		return nil, fmt.Errorf("core: unknown reclaim mode %d", int(cfg.Reclaim))
+	}
+	if cfg.Index < IndexAuto || cfg.Index > IndexOff {
+		return nil, fmt.Errorf("core: unknown index mode %d", int(cfg.Index))
+	}
+	if cfg.IndexSizeHint < 0 {
+		return nil, fmt.Errorf("core: negative IndexSizeHint %d", cfg.IndexSizeHint)
 	}
 	var domain *epoch.Domain
 	if cfg.Kind.lazy() && cfg.Reclaim == ReclaimAuto {
@@ -395,6 +443,27 @@ func New[K cmp.Ordered, V any](cfg Config) (*Map[K, V], error) {
 	}
 	if domain != nil {
 		m.history = newRevivalLog[K, V](domain)
+	}
+	if cfg.Index == IndexAuto {
+		hidx := hindex.New[K, V](cfg.IndexSizeHint)
+		m.hidx = hidx
+		tracer := cfg.Tracer
+		// Retire is the single funnel every lazy retirement passes through
+		// (inline, hybrid, and background); observing it keeps the index free
+		// of dead entries without touching the protocol's hot CASes. Stale
+		// entries that slip through (the observer races a republish) fail
+		// closed at lookup time, so this is an optimization, not a safety
+		// requirement.
+		sg.SetRetireObserver(func(n *node.Node[K, V]) {
+			hidx.Unpublish(n.Key(), n)
+			tracer.RecordIndex(obs.IndexUnpublish)
+		})
+		if cfg.Tracer != nil {
+			cfg.Tracer.SetIndexStats(func() obs.IndexSizeSnapshot {
+				st := hidx.Stats()
+				return obs.IndexSizeSnapshot{Entries: st.Entries, Dummies: st.Dummies, Buckets: st.Buckets}
+			})
+		}
 	}
 	for t := 0; t < threads; t++ {
 		var tr *stats.ThreadRecorder
@@ -644,6 +713,70 @@ func (h *Handle[K, V]) usable(r local.Ref[K, V]) bool {
 	return !r.N.Marked(0, h.tr)
 }
 
+// indexFind resolves key through the shared hash index: O(1) from any
+// stripe, against the descent the local structures cannot avoid for keys
+// other threads inserted. A hit is re-verified live (the same check usable
+// applies to local entries) under the operation's pin, so entries whose
+// nodes were retired — or whose arena slots were recycled into new lives —
+// fail closed and are pruned. Callers must still linearize on the node's
+// marked/valid bits exactly as they would for a local-hash hit.
+func (h *Handle[K, V]) indexFind(key K) (*node.Node[K, V], bool) {
+	x := h.m.hidx
+	if x == nil {
+		return nil, false
+	}
+	tracer := h.m.cfg.Tracer
+	n, id, ok := x.Lookup(key)
+	if !ok {
+		tracer.RecordIndex(obs.IndexMiss)
+		return nil, false
+	}
+	var live bool
+	if h.m.domain != nil {
+		live = n.LiveAs(id, h.tr)
+	} else {
+		live = !n.Marked(0, h.tr)
+	}
+	if !live {
+		x.Unpublish(key, n)
+		tracer.RecordIndex(obs.IndexStale)
+		tracer.RecordIndex(obs.IndexUnpublish)
+		return nil, false
+	}
+	tracer.RecordIndex(obs.IndexHit)
+	return n, true
+}
+
+// publishIndex installs (or refreshes) key's index entry for a node this
+// operation just bottom-linked or revived. No-op without an index.
+func (h *Handle[K, V]) publishIndex(key K, n *node.Node[K, V]) {
+	x := h.m.hidx
+	if x == nil {
+		return
+	}
+	x.Publish(key, n, n.ID())
+	h.m.cfg.Tracer.RecordIndex(obs.IndexPublish)
+}
+
+// unpublishIndex tombstones key's index entry if it still holds n. No-op
+// without an index.
+func (h *Handle[K, V]) unpublishIndex(key K, n *node.Node[K, V]) {
+	x := h.m.hidx
+	if x == nil {
+		return
+	}
+	x.Unpublish(key, n)
+	h.m.cfg.Tracer.RecordIndex(obs.IndexUnpublish)
+}
+
+// indexFallback records that an indexed node could not serve the operation
+// (marked between verification and the linearizing step): the entry is
+// pruned and the operation restarts as a descent.
+func (h *Handle[K, V]) indexFallback(key K, n *node.Node[K, V]) {
+	h.unpublishIndex(key, n)
+	h.m.cfg.Tracer.RecordIndex(obs.IndexFallback)
+}
+
 // getStart is the paper's Alg. 4: find the closest preceding local entry
 // whose shared node can seed a search, lazily finishing insertions it
 // encounters and pruning entries whose shared nodes are fully retired.
@@ -735,6 +868,17 @@ func (h *Handle[K, V]) insert(key K, value V) bool {
 			h.ls.Erase(key) // The node is marked; prune and fall through.
 		}
 	}
+	if n, ok := h.indexFind(key); ok {
+		done, inserted := h.m.sg.InsertHelper(n, h.tr)
+		if done {
+			if inserted {
+				h.m.stampRevive(n, h.tr)
+				h.adopt(key, n)
+			}
+			return inserted
+		}
+		h.indexFallback(key, n) // Marked since verification; descend.
+	}
 	return h.lazyInsert(key, value)
 }
 
@@ -793,6 +937,9 @@ func (h *Handle[K, V]) afterBottomLink(key K, toInsert *node.Node[K, V], it loca
 		// claims and finishes it.
 		h.m.engine.EnqueueFinishInsert(toInsert)
 	}
+	// Publish before the sparse filter below: the shared index serves point
+	// operations even for nodes the ordered local structures never track.
+	h.publishIndex(key, toInsert)
 	if h.m.sg.Sparse() && toInsert.TopLevel() < h.m.sg.MaxLevel() {
 		// Sparse skip graphs keep local structures sparse too: only nodes
 		// that reached the top level are added (paper, Sec. 2).
@@ -835,14 +982,30 @@ func (h *Handle[K, V]) remove(key K) bool {
 					if !h.m.sg.Lazy() {
 						// Non-lazy removal marks the node; prune eagerly. The
 						// lazy protocol keeps the mapping (the node may be
-						// revived) and prunes on later detection.
+						// revived) and prunes on later detection. The index
+						// entry follows the same rule: non-lazy removals have
+						// no Retire funnel to observe, so unpublish here.
 						h.ls.Erase(key)
+						h.unpublishIndex(key, r.N)
 					}
 				}
 				return removed
 			}
 			h.ls.Erase(key) // Marked; prune and fall through.
 		}
+	}
+	if n, ok := h.indexFind(key); ok {
+		done, removed := h.m.sg.RemoveHelper(n, h.tr)
+		if done {
+			if removed {
+				h.m.stampDead(n, h.tr)
+				if !h.m.sg.Lazy() {
+					h.unpublishIndex(key, n)
+				}
+			}
+			return removed
+		}
+		h.indexFallback(key, n) // Marked since verification; descend.
 	}
 	return h.lazyRemove(key)
 }
@@ -861,6 +1024,9 @@ func (h *Handle[K, V]) lazyRemove(key K) bool {
 		if done {
 			if removed {
 				h.m.stampDead(found, h.tr)
+				if !h.m.sg.Lazy() {
+					h.unpublishIndex(key, found)
+				}
 			}
 			return removed
 		}
@@ -900,6 +1066,16 @@ func (h *Handle[K, V]) get(key K) (V, bool) {
 			}
 		}
 		h.ls.Erase(key) // Marked (or life gone); prune and search globally.
+	}
+	if n, ok := h.indexFind(key); ok {
+		marked, valid := n.MarkValid(0, h.tr)
+		if !marked {
+			if valid {
+				return n.Value(), true // Successful contains on the indexed node (C-i).
+			}
+			return zero, false // Unmarked invalid: logically absent.
+		}
+		h.indexFallback(key, n) // Marked since verification; descend.
 	}
 	it := h.getStart(key)
 	start := h.nodeOf(it)

@@ -237,7 +237,13 @@ func (a *Arena[K, V]) NewData(key K, value V, topLevel int, vector uint32, owner
 	n := a.alloc(int(owner.Node))
 	n.key = key
 	n.value = value
-	n.kind = Data
+	if n.kind != Data {
+		// Written on the slot's first carve only: freed slots are always
+		// data slots (Free rejects sentinels), and stale-pointer validators
+		// (LiveAs) read kind through refMarked before the ID gate, so a
+		// reused slot must not see this field rewritten mid-validation.
+		n.kind = Data
+	}
 	n.topLevel = int32(topLevel)
 	n.vector = vector
 	n.ownerThread = owner.Thread

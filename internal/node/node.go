@@ -263,10 +263,20 @@ func (n *Node[K, V]) SetID(id uint64) { n.id.Store(id) }
 // until the pin drops (retiring it, a precondition of freeing, stamps a
 // limbo epoch at or after the pin's).
 func (n *Node[K, V]) LiveAs(id uint64, tr *stats.ThreadRecorder) bool {
-	if n.Marked(0, tr) {
+	// Uninstrumented reads until the life is confirmed: this validator runs
+	// on stale pointers whose slot may be mid-reallocation, and the
+	// instrumented accessors evaluate per-life owner fields that the
+	// reallocation rewrites. The marked word and the ID are atomic; kind is
+	// slot-constant (Free never returns sentinels, so a data slot stays a
+	// data slot for the arena's lifetime).
+	if n.refMarked(0) {
 		return false
 	}
-	return n.id.Load() == id
+	if n.id.Load() != id {
+		return false
+	}
+	n.read(tr) // Same life confirmed; its fields are safe to read.
+	return true
 }
 
 // ArenaIndex returns the node's arena index, or 0 for heap (cell-based)

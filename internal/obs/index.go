@@ -1,0 +1,125 @@
+package obs
+
+import "fmt"
+
+// IndexKind identifies a hash-index event (see internal/hindex and the core
+// fast paths layered over it). Like maintenance events these are not
+// operations — they annotate how point operations resolved — so they
+// aggregate into plain counters instead of the per-stripe event rings.
+type IndexKind uint8
+
+const (
+	// IndexHit: a point operation resolved its node through the index and
+	// the reference passed liveness re-verification.
+	IndexHit IndexKind = iota
+	// IndexMiss: the key had no live index entry; the operation fell back to
+	// a descent.
+	IndexMiss
+	// IndexStale: an entry was found but its node failed liveness
+	// re-verification (retired, or its slot was recycled into a new life);
+	// the reader pruned it and fell back to a descent.
+	IndexStale
+	// IndexFallback: an indexed node was resolved but the operation could
+	// not complete on it (e.g. it was marked between verification and the
+	// linearizing read, or a helper call returned undecided) and restarted
+	// as a descent. Recorded in addition to IndexHit.
+	IndexFallback
+	// IndexPublish: a key→node entry was installed or refreshed.
+	IndexPublish
+	// IndexUnpublish: an entry was tombstoned (retire observer, non-lazy
+	// removal, or reader-side pruning).
+	IndexUnpublish
+
+	nIndexKinds = int(IndexUnpublish) + 1
+)
+
+// String implements fmt.Stringer.
+func (k IndexKind) String() string {
+	switch k {
+	case IndexHit:
+		return "hit"
+	case IndexMiss:
+		return "miss"
+	case IndexStale:
+		return "stale"
+	case IndexFallback:
+		return "fallback"
+	case IndexPublish:
+		return "publish"
+	case IndexUnpublish:
+		return "unpublish"
+	default:
+		return fmt.Sprintf("IndexKind(%d)", int(k))
+	}
+}
+
+// RecordIndex counts one hash-index event. Like operation tracing it is
+// gated on Enabled, so a disabled tracer costs one load and branch.
+func (t *Tracer) RecordIndex(k IndexKind) {
+	if t == nil || !Enabled.Load() {
+		return
+	}
+	t.index[k].Add(1)
+}
+
+// IndexSizeSnapshot gauges the hash index's current shape — typically
+// hindex.Index.Stats.
+type IndexSizeSnapshot struct {
+	// Entries is the number of key slots ever linked (live + tombstoned:
+	// the split-ordered list never unlinks).
+	Entries int64 `json:"entries"`
+	// Dummies is the number of materialized bucket sentinels.
+	Dummies int64 `json:"dummies"`
+	// Buckets is the current logical bucket count.
+	Buckets int64 `json:"buckets"`
+}
+
+// SetIndexStats installs the gauge snapshots read for the index section of
+// Snapshot. A nil tracer ignores the call.
+func (t *Tracer) SetIndexStats(f func() IndexSizeSnapshot) {
+	if t == nil {
+		return
+	}
+	t.indexStats.Store(&f)
+}
+
+// IndexSnapshot summarizes the hash index layer's activity and size.
+type IndexSnapshot struct {
+	// Hits, Misses, Stale, and Fallbacks classify how point operations
+	// resolved while tracing was enabled.
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Stale     uint64 `json:"stale"`
+	Fallbacks uint64 `json:"fallbacks"`
+	// Publishes and Unpublishes count entry installs and tombstones.
+	Publishes   uint64 `json:"publishes"`
+	Unpublishes uint64 `json:"unpublishes"`
+	// Entries, Dummies, and Buckets gauge the index's current size (live
+	// values, independent of Enabled).
+	Entries int64 `json:"entries"`
+	Dummies int64 `json:"dummies"`
+	Buckets int64 `json:"buckets"`
+}
+
+// indexSnapshot builds the Snapshot section, or nil when the structure runs
+// without a hash index.
+func (t *Tracer) indexSnapshot() *IndexSnapshot {
+	fn := t.indexStats.Load()
+	s := IndexSnapshot{
+		Hits:        t.index[IndexHit].Load(),
+		Misses:      t.index[IndexMiss].Load(),
+		Stale:       t.index[IndexStale].Load(),
+		Fallbacks:   t.index[IndexFallback].Load(),
+		Publishes:   t.index[IndexPublish].Load(),
+		Unpublishes: t.index[IndexUnpublish].Load(),
+	}
+	if fn == nil {
+		if s.Hits == 0 && s.Misses == 0 && s.Publishes == 0 {
+			return nil
+		}
+		return &s
+	}
+	sz := (*fn)()
+	s.Entries, s.Dummies, s.Buckets = sz.Entries, sz.Dummies, sz.Buckets
+	return &s
+}

@@ -88,6 +88,9 @@ type Snapshot struct {
 	// Epoch summarizes the epoch domain and reclamation pipeline, when the
 	// structure reclaims slots (nil otherwise).
 	Epoch *EpochSnapshot `json:"epoch,omitempty"`
+	// Index summarizes the shared hash index layer, when one is attached
+	// (nil otherwise).
+	Index *IndexSnapshot `json:"index,omitempty"`
 }
 
 // OpSnapshot summarizes one operation kind.
@@ -130,6 +133,7 @@ func (t *Tracer) Snapshot() Snapshot {
 	s.Maintenance = t.maintSnapshot()
 	s.Arena = t.arenaSnapshot()
 	s.Epoch = t.epochSnapshot()
+	s.Index = t.indexSnapshot()
 	for k := 1; k < nOpKinds; k++ {
 		m := &t.ops[k]
 		count := m.count.Load()
@@ -188,6 +192,14 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		if _, err := fmt.Fprintf(w,
 			"  epoch    epoch=%d min_pinned=%d pin_lag=%d seq=%d live_snapshots=%d limbo_depth=%d\n",
 			e.Epoch, e.MinPinned, e.PinLag, e.Seq, e.LiveSnapshots, e.LimboDepth); err != nil {
+			return err
+		}
+	}
+	if x := s.Index; x != nil {
+		if _, err := fmt.Fprintf(w,
+			"  index    hits=%d misses=%d stale=%d fallbacks=%d publishes=%d unpublishes=%d entries=%d buckets=%d\n",
+			x.Hits, x.Misses, x.Stale, x.Fallbacks, x.Publishes, x.Unpublishes,
+			x.Entries, x.Buckets); err != nil {
 			return err
 		}
 	}

@@ -53,6 +53,11 @@ type Tracer struct {
 	// epochStats, when set, gauges the attached structure's epoch domain and
 	// reclamation pipeline for snapshots (reclaiming maps only).
 	epochStats atomic.Pointer[func() EpochSnapshot]
+
+	// index counts hash-index events (hit, miss, stale, fallback, publish,
+	// unpublish); indexStats, when set, gauges the index's size.
+	index      [nIndexKinds]atomic.Uint64
+	indexStats atomic.Pointer[func() IndexSizeSnapshot]
 }
 
 // opMetrics aggregates one operation kind across all stripes. Writers are

@@ -100,10 +100,16 @@ type Workload struct {
 	// experiments package sets 1; 0 disables yielding.
 	YieldEvery int
 	// Distribution selects the key distribution. The paper's workloads are
-	// uniform (the zero value); Zipf adds a skewed-access extension.
+	// uniform (the zero value); Zipf and Hotspot add skewed-access
+	// extensions.
 	Distribution Distribution
 	// ZipfS is the Zipf skew exponent (> 1); 0 selects 1.2.
 	ZipfS float64
+	// Skew is the Hotspot distribution's hot fraction: the probability an
+	// operation targets the hot set (the lowest tenth of the key space,
+	// at least one key). 0 selects 0.9 — "90% of operations hit 10% of
+	// keys". Ignored by other distributions.
+	Skew float64
 	// Goroutines overrides the worker count; 0 runs the paper's setting of
 	// one worker per machine thread. A value above the thread count
 	// oversubscribes the adapter — request-serving style — and requires the
@@ -126,6 +132,11 @@ const (
 	// Zipf draws keys with Zipfian skew: a few keys receive most operations,
 	// modelling the hot-key behaviour of real caches and stores.
 	Zipf
+	// Hotspot draws a Skew fraction of keys uniformly from the hot tenth of
+	// the key space and the rest uniformly from the whole space — the
+	// classic "90/10" cache benchmark shape, with a flat (rather than
+	// power-law) hot set.
+	Hotspot
 )
 
 // keyGen returns a per-thread key generator for the workload.
@@ -138,6 +149,21 @@ func (w Workload) keyGen(rng *rand.Rand) func() int64 {
 		}
 		z := rand.NewZipf(rng, s, 1, uint64(w.KeySpace-1))
 		return func() int64 { return int64(z.Uint64()) }
+	case Hotspot:
+		p := w.Skew
+		if p == 0 {
+			p = 0.9
+		}
+		hot := w.KeySpace / 10
+		if hot < 1 {
+			hot = 1
+		}
+		return func() int64 {
+			if rng.Float64() < p {
+				return rng.Int63n(hot)
+			}
+			return rng.Int63n(w.KeySpace)
+		}
 	default:
 		return func() int64 { return rng.Int63n(w.KeySpace) }
 	}
@@ -159,6 +185,9 @@ func (w Workload) Validate() error {
 	}
 	if w.Distribution == Zipf && w.ZipfS != 0 && w.ZipfS <= 1 {
 		return fmt.Errorf("sbench: ZipfS must exceed 1, got %f", w.ZipfS)
+	}
+	if w.Skew < 0 || w.Skew > 1 {
+		return fmt.Errorf("sbench: Skew must be in [0,1], got %f", w.Skew)
 	}
 	if w.Goroutines < 0 {
 		return fmt.Errorf("sbench: Goroutines must be non-negative, got %d", w.Goroutines)

@@ -86,6 +86,7 @@ func TestValidate(t *testing.T) {
 		"ratio":    func(w *Workload) { w.UpdateRatio = 1.5 },
 		"duration": func(w *Workload) { w.Duration = 0 },
 		"preload":  func(w *Workload) { w.PreloadFraction = -0.1 },
+		"skew":     func(w *Workload) { w.Skew = 1.5 },
 	} {
 		w := wl()
 		mut(&w)
@@ -191,6 +192,48 @@ func TestZipfDistribution(t *testing.T) {
 	}
 	if uniCounts[0] > 200 {
 		t.Fatalf("uniform generator skewed: key 0 drawn %d times", uniCounts[0])
+	}
+}
+
+func TestHotspotDistribution(t *testing.T) {
+	w := wl()
+	w.Distribution = Hotspot
+	if err := w.Validate(); err != nil {
+		t.Fatalf("hotspot default rejected: %v", err)
+	}
+	// Default Skew 0 means 90% of draws land in the hot tenth.
+	gen := w.keyGen(rand.New(rand.NewSource(1)))
+	hot := w.KeySpace / 10
+	if hot < 1 {
+		hot = 1
+	}
+	inHot := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		k := gen()
+		if k < 0 || k >= w.KeySpace {
+			t.Fatalf("key %d outside [0,%d)", k, w.KeySpace)
+		}
+		if k < hot {
+			inHot++
+		}
+	}
+	frac := float64(inHot) / draws
+	if frac < 0.85 || frac > 0.97 {
+		t.Fatalf("hot fraction %.3f, want ~0.9+uniform spill", frac)
+	}
+	// An explicit Skew of 0.5 halves the hot traffic.
+	w.Skew = 0.5
+	gen = w.keyGen(rand.New(rand.NewSource(1)))
+	inHot = 0
+	for i := 0; i < draws; i++ {
+		if gen() < hot {
+			inHot++
+		}
+	}
+	frac = float64(inHot) / draws
+	if frac < 0.5 || frac > 0.62 {
+		t.Fatalf("hot fraction %.3f with Skew 0.5, want ~0.55", frac)
 	}
 }
 

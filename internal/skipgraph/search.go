@@ -330,5 +330,8 @@ func (sg *SG[K, V]) Retire(n *node.Node[K, V], tr *stats.ThreadRecorder) bool {
 			n.CASMark(level, false, true, tr)
 		}
 	}
+	if sg.retireObserver != nil {
+		sg.retireObserver(n)
+	}
 	return true
 }

@@ -163,6 +163,11 @@ type SG[K cmp.Ordered, V any] struct {
 	// hooks, when non-nil, routes deferred maintenance to a background
 	// engine. Set once via SetHooks before concurrent use.
 	hooks *Hooks[K, V]
+	// retireObserver, when non-nil, is invoked once per successful Retire
+	// (after all levels are marked) with the node that just died. Set once
+	// via SetRetireObserver before concurrent use; layered indexes use it to
+	// drop the node's entry. Must be fast and must not re-enter the graph.
+	retireObserver func(*node.Node[K, V])
 	// arena backs all of the structure's nodes when cfg.PackedRefs is set;
 	// nil means the cell-based representation.
 	arena *node.Arena[K, V]
@@ -218,6 +223,11 @@ func New[K cmp.Ordered, V any](cfg Config) (*SG[K, V], error) {
 // Call before the structure sees concurrent use; hooks are read without
 // synchronization on the search paths.
 func (sg *SG[K, V]) SetHooks(h *Hooks[K, V]) { sg.hooks = h }
+
+// SetRetireObserver installs a callback invoked after every successful
+// Retire — the single funnel both inline and background retirement pass
+// through. Call before the structure sees concurrent use.
+func (sg *SG[K, V]) SetRetireObserver(fn func(*node.Node[K, V])) { sg.retireObserver = fn }
 
 // MaxLevel returns the structure height.
 func (sg *SG[K, V]) MaxLevel() int { return sg.cfg.MaxLevel }

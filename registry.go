@@ -30,6 +30,21 @@ type Workload = sbench.Workload
 // Result is one trial's outcome.
 type Result = sbench.Result
 
+// Distribution selects how benchmark workers draw keys; see
+// Workload.Distribution.
+type Distribution = sbench.Distribution
+
+// Key distributions.
+const (
+	// Uniform draws keys uniformly at random (the paper's setting).
+	Uniform = sbench.Uniform
+	// Zipf draws keys with Zipfian skew (exponent Workload.ZipfS).
+	Zipf = sbench.Zipf
+	// Hotspot sends a Workload.Skew fraction of operations to the hot tenth
+	// of the key space.
+	Hotspot = sbench.Hotspot
+)
+
 // AdapterOptions parameterize algorithm construction for benchmarking.
 type AdapterOptions struct {
 	// KeySpace sizes non-layered skip lists (height = log2 key space, per the
@@ -56,6 +71,11 @@ type AdapterOptions struct {
 	// arena words vs heap cells); zero value RefAuto picks packed whenever
 	// the structure's height fits. Other algorithms ignore it.
 	Refs RefMode
+	// Index selects the shared hash index layer for the layered variants:
+	// zero value IndexAuto builds it (O(1) point operations from any
+	// stripe), IndexOff descends for every cross-stripe point operation.
+	// Other algorithms ignore it.
+	Index IndexMode
 	// Seed makes structure-internal randomness deterministic.
 	Seed int64
 	// ViaStore drives the algorithm through the goroutine-safe Store facade
@@ -103,6 +123,7 @@ func layeredBuilder(kind core.Kind) algoBuilder {
 			Recorder:         o.Recorder,
 			Tracer:           o.Observe,
 			Refs:             o.Refs,
+			Index:            o.Index,
 			Seed:             o.Seed,
 		}
 		if o.ViaStore {
