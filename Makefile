@@ -20,6 +20,11 @@
 #                   internal/hindex plus the root cross-handle, parity,
 #                   stale-generation, and index×reclaim torture scenarios,
 #                   and the FuzzIndexOps seed corpus
+#   make race-persist — race pass over the persistence surface:
+#                   internal/persist plus the root dump/load scenarios that
+#                   run writers against in-flight dumps (snapshot isolation,
+#                   Close-during-dump, WAL recovery, the persist torture run)
+#                   and the FuzzDumpLoad seed corpus
 #   make bench    — the Store-overhead benchmark pair (see EXPERIMENTS.md)
 #   make bench-reclaim — the reclamation benchmarks: slot-churn turnover
 #                   and revival with reclamation on/off, snapshot acquire,
@@ -30,6 +35,9 @@
 #   make bench-json — the fixed sgbench scenario grid (index on/off across
 #                   the paper's contention cells plus a hotspot-skew cell),
 #                   written to BENCH.json for cross-PR diffing
+#   make bench-persist — the persistence trial: fill PERSISTKEYS keys,
+#                   StoreToDisk, LoadFromDisk round trip via sgbench,
+#                   reporting keys/s and MB/s each way (see EXPERIMENTS.md)
 #   make fuzz-smoke — 30s of coverage-guided fuzzing per fuzz target (the
 #                   go tool accepts one -fuzz pattern per run, hence one
 #                   invocation each); seed-corpus replay is part of plain `test`
@@ -37,10 +45,12 @@
 GO ?= go
 FUZZTIME ?= 30s
 BENCHJSON ?= BENCH.json
+PERSISTKEYS ?= 2000000
+PERSISTDIR ?= /tmp/layeredsg-persist
 
-.PHONY: ci build test vet race race-maintain race-refs race-reclaim race-index bench bench-alloc bench-reclaim bench-json fuzz-smoke fmt
+.PHONY: ci build test vet race race-maintain race-refs race-reclaim race-index race-persist bench bench-alloc bench-reclaim bench-json bench-persist fuzz-smoke fmt
 
-ci: build test vet race race-maintain race-refs race-reclaim race-index
+ci: build test vet race race-maintain race-refs race-reclaim race-index race-persist
 
 build:
 	$(GO) build ./...
@@ -71,6 +81,10 @@ race-index:
 	$(GO) test -race ./internal/hindex
 	$(GO) test -race -run 'TestIndex|TestTortureIndexReclaim|FuzzIndexOps' .
 
+race-persist:
+	$(GO) test -race ./internal/persist
+	$(GO) test -race -run 'TestTorturePersist|TestDumpSnapshotIsolation|TestCloseDuringDump|TestWAL|TestStoreDumpLoadRoundTrip|FuzzDumpLoad' .
+
 bench:
 	$(GO) test -run '^$$' -bench 'Store' -benchtime 3x .
 
@@ -85,6 +99,10 @@ bench-reclaim:
 bench-json:
 	$(GO) run ./cmd/sgbench -suite -threads 16 -duration 500ms -runs 2 -json $(BENCHJSON)
 
+bench-persist:
+	rm -rf $(PERSISTDIR)
+	$(GO) run ./cmd/sgbench -dump $(PERSISTDIR) -load $(PERSISTDIR) -keyspace $(PERSISTKEYS) -threads 16
+
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSkipGraphOps$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzStoreOps$$' -fuzztime $(FUZZTIME) .
@@ -92,6 +110,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzRefRepresentations$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzSnapshotOps$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzIndexOps$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzDumpLoad$$' -fuzztime $(FUZZTIME) .
 
 fmt:
 	gofmt -l .

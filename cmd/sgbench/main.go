@@ -28,6 +28,12 @@
 // /debug/obs, and /debug/trace over HTTP for the run's duration:
 //
 //	sgbench -algo lazy_layered_sg -duration 30s -debug-addr localhost:6060
+//
+// The persistence trial (-dump / -load, optionally -wal) fills a store with
+// -keyspace keys, times a StoreToDisk and/or a LoadFromDisk under the machine
+// the flags describe, and reports keys/s and MB/s each way:
+//
+//	sgbench -dump /tmp/d -load /tmp/d -keyspace 10000000 -threads 16
 package main
 
 import (
@@ -77,6 +83,9 @@ func run(args []string, w io.Writer) error {
 		index     = fs.String("index", "auto", "shared hash index for the layered variants: auto (on) or off")
 		suite     = fs.Bool("suite", false, "run the fixed benchmark scenario grid instead of a single trial (see -json)")
 		jsonOut   = fs.String("json", "", "with -suite: write machine-readable per-scenario results to this file")
+		dumpDir   = fs.String("dump", "", "persistence trial: fill a store with -keyspace keys and StoreToDisk into this directory, reporting dump throughput")
+		loadDir   = fs.String("load", "", "persistence trial: LoadFromDisk from this directory under the machine flags, reporting load throughput (combine with -dump for a round trip)")
+		walDir    = fs.String("wal", "", "with -dump/-load: journal mutations to a write-ahead log in this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,6 +114,9 @@ func run(args []string, w io.Writer) error {
 		policy = layeredsg.MaintHybrid
 	default:
 		return fmt.Errorf("unknown -maintain policy %q (want inline, background, or hybrid)", *maintain)
+	}
+	if *dumpDir != "" || *loadDir != "" {
+		return runPersist(w, machine, *dumpDir, *loadDir, *walDir, *keySpace)
 	}
 	dist, zipfS, hotP, err := parseSkew(*skew)
 	if err != nil {

@@ -669,3 +669,116 @@ func replaySnapshotOps(t *testing.T, kind core.Kind, data []byte) {
 	m.Close()
 	checkModel(t, kind, m, model)
 }
+
+// persistFuzzConfig is fuzzConfig with a goroutine-safe clock: dump writers
+// and load workers run in parallel, so the injected clock must be atomic.
+func persistFuzzConfig(machine *Machine, kind core.Kind) Config {
+	var now atomic.Int64
+	return Config{
+		Machine:          machine,
+		Kind:             kind,
+		Seed:             1,
+		CommissionPeriod: 500,
+		Clock:            func() int64 { return now.Add(50) },
+	}
+}
+
+// applyDumpLoadOps drives insert/remove/get sequences against a store and the
+// shared model; values are key*7+1 so a key/value transposition in the dump
+// format cannot masquerade as a match.
+func applyDumpLoadOps(t *testing.T, st *Store[int64, int64], model map[int64]int64, data []byte, tag string) {
+	t.Helper()
+	for i := 0; i+1 < len(data); i += 2 {
+		sel, kb := data[i], data[i+1]
+		key := int64(kb) % fuzzKeySpace
+		_, present := model[key]
+		switch sel % 4 {
+		case 0, 1:
+			if got := st.Insert(key, key*7+1); got != !present {
+				t.Fatalf("%s op %d: Insert(%d) = %v with present=%v", tag, i/2, key, got, present)
+			}
+			model[key] = key*7 + 1
+		case 2:
+			if got := st.Remove(key); got != present {
+				t.Fatalf("%s op %d: Remove(%d) = %v with present=%v", tag, i/2, key, got, present)
+			}
+			delete(model, key)
+		case 3:
+			v, ok := st.Get(key)
+			if ok != present || (ok && v != model[key]) {
+				t.Fatalf("%s op %d: Get(%d) = (%d, %v) with present=%v", tag, i/2, key, v, ok, present)
+			}
+		}
+	}
+}
+
+func FuzzDumpLoad(f *testing.F) {
+	f.Add(byte(0), []byte{0, 1, 0, 2, 0, 3, 2, 1}, []byte{0, 9, 3, 2})
+	f.Add(byte(5), []byte{0, 10, 0, 20, 0, 30, 2, 20}, []byte{0, 20, 2, 10, 3, 30})
+	f.Add(byte(10), []byte{}, []byte{0, 7})
+	f.Add(byte(3), []byte{0, 1, 2, 1, 0, 1, 2, 1, 0, 1}, []byte{2, 1, 0, 1})
+	f.Fuzz(func(t *testing.T, variant byte, prefix, suffix []byte) {
+		for _, kind := range []core.Kind{core.LazyLayeredSG, core.LazyLayeredSSG} {
+			replayDumpLoad(t, kind, variant, prefix, suffix)
+		}
+	})
+}
+
+// replayDumpLoad is the differential round trip: a prefix of operations
+// against a store and a twin model, StoreToDisk, LoadFromDisk under a
+// DIFFERENT shape (machine topology, node representation, and hash index all
+// varied by the fuzzed selector — so membership vectors, arena placement, and
+// index entries are re-derived, never restored), a suffix of operations
+// against the loaded store, then a full model and invariant check.
+func replayDumpLoad(t *testing.T, kind core.Kind, variant byte, prefix, suffix []byte) {
+	st, err := NewStore[int64, int64](persistFuzzConfig(fuzzMachine(t), kind))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[int64]int64{}
+	applyDumpLoadOps(t, st, model, prefix, "prefix")
+	dir := t.TempDir()
+	ds, err := st.StoreToDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Records != uint64(len(model)) {
+		t.Fatalf("dumped %d records, model has %d", ds.Records, len(model))
+	}
+	st.Close()
+
+	var topoShape [2]int
+	switch variant % 3 {
+	case 0:
+		topoShape = [2]int{2, 1} // the dumping shape
+	case 1:
+		topoShape = [2]int{1, 2} // one socket
+	case 2:
+		topoShape = [2]int{4, 1} // wider than the dump
+	}
+	topo, err := NewTopology(topoShape[0], topoShape[1], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine, err := Pin(topo, topoShape[0]*topoShape[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := persistFuzzConfig(machine, kind)
+	if variant&4 != 0 {
+		cfg.Refs = RefCells
+	}
+	if variant&8 != 0 {
+		cfg.Index = IndexOff
+	}
+	st2, ls, err := LoadFromDisk[int64, int64](dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Records != uint64(len(model)) {
+		t.Fatalf("loaded %d records, model has %d", ls.Records, len(model))
+	}
+	applyDumpLoadOps(t, st2, model, suffix, "suffix")
+	st2.Close()
+	checkModel(t, kind, st2.Map(), model)
+}

@@ -278,6 +278,27 @@ type Config struct {
 	Clock func() int64
 	// Seed seeds the per-thread RNGs drawing sparse node heights.
 	Seed int64
+	// WAL, when non-empty, names the directory holding the map's append-only
+	// write-ahead log: every successful mutation is journaled with its MVCC
+	// sequence stamp, so a base dump plus the WAL's post-snapshot suffix
+	// reconstructs the map after a crash (see internal/persist and the
+	// layeredsg constructors, which open the log — core itself never touches
+	// the filesystem). Requires a snapshot-capable configuration (a lazy
+	// variant with ReclaimAuto): the WAL's ordering guarantee is the MVCC
+	// stamp order, which only those configurations maintain.
+	WAL string
+}
+
+// MutationSink receives the map's stamped mutations — the write-ahead log's
+// attachment point. Insert and Remove are called at the MVCC stamp sites
+// (under the node's life lock for removals and revivals), so per-key calls
+// arrive in stamp order; seq is the mutation's sequence stamp, making the
+// global order recoverable by sorting. Close flushes and releases the sink
+// (called by Map.Close).
+type MutationSink[K cmp.Ordered, V any] interface {
+	Insert(seq uint64, key K, value V)
+	Remove(seq uint64, key K)
+	Close() error
 }
 
 // Map is a layered concurrent map. Obtain one Handle per worker thread; the
@@ -305,6 +326,10 @@ type Map[K cmp.Ordered, V any] struct {
 	// descent; entries are (node, life-ID) pairs re-verified against the
 	// node's marked/valid bits on every hit, so stale entries fail closed.
 	hidx *hindex.Index[K, V]
+	// wal is the attached mutation sink (the write-ahead log), nil when no
+	// WAL is configured. Set once before the map is shared; the stamp
+	// functions feed it.
+	wal MutationSink[K, V]
 }
 
 // New builds a layered map for the machine's thread count.
@@ -374,6 +399,9 @@ func New[K cmp.Ordered, V any](cfg Config) (*Map[K, V], error) {
 	}
 	if cfg.IndexSizeHint < 0 {
 		return nil, fmt.Errorf("core: negative IndexSizeHint %d", cfg.IndexSizeHint)
+	}
+	if cfg.WAL != "" && !(cfg.Kind.lazy() && cfg.Reclaim == ReclaimAuto) {
+		return nil, fmt.Errorf("core: %s with Reclaim=%s supports no WAL (the log's ordering guarantee is the MVCC stamp order; use a lazy variant with ReclaimAuto)", cfg.Kind, cfg.Reclaim)
 	}
 	var domain *epoch.Domain
 	if cfg.Kind.lazy() && cfg.Reclaim == ReclaimAuto {
@@ -559,6 +587,23 @@ func proxyThread(machine *numa.Machine, numaNode int) int {
 // runs the paper's inline protocol. For tests, benchmarks, and tooling.
 func (m *Map[K, V]) Maintenance() *maintain.Engine[K, V] { return m.engine }
 
+// Machine returns the machine the map was built for.
+func (m *Map[K, V]) Machine() *numa.Machine { return m.cfg.Machine }
+
+// Tracer returns the attached observability tracer, or nil.
+func (m *Map[K, V]) Tracer() *obs.Tracer { return m.cfg.Tracer }
+
+// Config returns the configuration the map was built with.
+func (m *Map[K, V]) Config() Config { return m.cfg }
+
+// SetMutationSink attaches the write-ahead log's sink. It must be called
+// before the map is shared with other goroutines (the layeredsg constructors
+// call it between core.New and first use); a nil sink detaches.
+func (m *Map[K, V]) SetMutationSink(s MutationSink[K, V]) { m.wal = s }
+
+// MutationSink returns the attached sink, or nil.
+func (m *Map[K, V]) MutationSink() MutationSink[K, V] { return m.wal }
+
 // Domain exposes the epoch/snapshot domain, or nil when reclamation is off.
 // For tests, benchmarks, and the observability layer.
 func (m *Map[K, V]) Domain() *epoch.Domain { return m.domain }
@@ -576,6 +621,9 @@ func (m *Map[K, V]) Close() {
 	m.domain.WaitNoSnapshots()
 	if m.engine != nil {
 		m.engine.Close()
+	}
+	if m.wal != nil {
+		m.wal.Close() //nolint:errcheck // sticky error surfaces via the WAL's own Err
 	}
 }
 

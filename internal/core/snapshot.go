@@ -58,6 +58,13 @@ func (m *Map[K, V]) stampFreshBorn(n *node.Node[K, V]) {
 		return
 	}
 	n.StampBornCAS(m.domain.NextSeq())
+	if m.wal != nil {
+		// Journal with the stamp that actually defines the birth: if a racing
+		// remover's backfill won the CAS, our drawn sequence was dropped and
+		// BornSeq holds the winner — logging the drawn value would put the
+		// insert after the matching remove in replay order.
+		m.wal.Insert(n.BornSeq(), n.Key(), n.Value())
+	}
 }
 
 // stampDead closes the current life of a node this thread just removed (won
@@ -84,6 +91,10 @@ func (m *Map[K, V]) stampDead(n *node.Node[K, V], tr *stats.ThreadRecorder) {
 		n.StampBornCAS(m.domain.NextSeq())
 	}
 	n.SetDead(m.domain.NextSeq())
+	if m.wal != nil {
+		// Still under the life lock, so per-key journal order is stamp order.
+		m.wal.Remove(n.DeadSeq(), n.Key())
+	}
 	n.UnlockLife()
 }
 
@@ -116,6 +127,10 @@ func (m *Map[K, V]) stampRevive(n *node.Node[K, V], tr *stats.ThreadRecorder) {
 	}
 	n.SetBorn(m.domain.NextSeq())
 	n.SetDead(0)
+	if m.wal != nil {
+		// Still under the life lock, so per-key journal order is stamp order.
+		m.wal.Insert(n.BornSeq(), n.Key(), n.Value())
+	}
 	n.UnlockLife()
 }
 

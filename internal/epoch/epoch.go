@@ -35,6 +35,7 @@ package epoch
 
 import (
 	"math"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 )
@@ -58,6 +59,13 @@ type Domain struct {
 	// seq is the mutation sequence: every successful insert/remove
 	// linearization draws one stamp.
 	seq atomic.Uint64
+	// lineage identifies the sequence space: stamps drawn from domains with
+	// the same lineage are mutually ordered, stamps from different lineages
+	// are not comparable. Fresh domains draw a random nonzero lineage; a
+	// domain rebuilt from a persisted dump adopts the dump's lineage (and
+	// advances seq past every persisted stamp) so its write-ahead log keeps
+	// appending into the same sequence space.
+	lineage atomic.Uint64
 
 	// slots is the copy-on-write participant table: MinPinned scans the
 	// current slice lock-free; Register appends a fresh slot under regMu.
@@ -92,6 +100,9 @@ func NewDomain(participants int) *Domain {
 	d.snapCond = sync.NewCond(&d.snapMu)
 	d.minSnapSeq.Store(NoSequence)
 	d.minSnapEpoch.Store(NoSequence)
+	for d.lineage.Load() == 0 {
+		d.lineage.Store(rand.Uint64())
+	}
 	return d
 }
 
@@ -185,6 +196,41 @@ func (d *Domain) Seq() uint64 {
 		return 0
 	}
 	return d.seq.Load()
+}
+
+// AdvanceSeq moves the mutation sequence to at least `to`, so every stamp
+// drawn afterwards is strictly greater. The persistence layer calls it once,
+// before any concurrent mutator exists, when a loaded map resumes a
+// persisted sequence space (base-dump seq plus replayed WAL stamps); the CAS
+// loop keeps it safe against concurrent NextSeq draws anyway.
+func (d *Domain) AdvanceSeq(to uint64) {
+	if d == nil {
+		return
+	}
+	for {
+		cur := d.seq.Load()
+		if cur >= to || d.seq.CompareAndSwap(cur, to) {
+			return
+		}
+	}
+}
+
+// Lineage returns the domain's sequence-space identity (0 on a nil domain).
+func (d *Domain) Lineage() uint64 {
+	if d == nil {
+		return 0
+	}
+	return d.lineage.Load()
+}
+
+// AdoptLineage rebinds the domain to a persisted sequence space. Call before
+// the domain is shared (the persistence layer does, between the base load's
+// replay and the first post-load mutation).
+func (d *Domain) AdoptLineage(l uint64) {
+	if d == nil {
+		return
+	}
+	d.lineage.Store(l)
 }
 
 // MinPinned returns the minimum epoch pinned by any participant or live

@@ -1,0 +1,93 @@
+package obs
+
+import "fmt"
+
+// PersistKind identifies a persistence event (see internal/persist). Unlike
+// the per-operation tracing these are cold-path events — a handful per dump
+// or load, never per map operation — so they are recorded on any non-nil
+// tracer regardless of Enabled: a load that finished before observability
+// was switched on should still gauge what it read.
+type PersistKind uint8
+
+const (
+	// PersistDumpRecords: key/value records written to shard dump files.
+	PersistDumpRecords PersistKind = iota
+	// PersistDumpBytes: bytes written to shard dump files (headers, records,
+	// trailers).
+	PersistDumpBytes
+	// PersistLoadRecords: records decoded from shard dump files and fed to
+	// the rebuild sink.
+	PersistLoadRecords
+	// PersistLoadBytes: bytes read from shard dump files.
+	PersistLoadBytes
+	// PersistWALReplay: WAL records replayed over a base load (the replay
+	// depth).
+	PersistWALReplay
+	// PersistWALDiscard: WAL records or torn-tail bytes discarded during
+	// recovery truncation.
+	PersistWALDiscard
+
+	nPersistKinds = int(PersistWALDiscard) + 1
+)
+
+// String implements fmt.Stringer.
+func (k PersistKind) String() string {
+	switch k {
+	case PersistDumpRecords:
+		return "dump_records"
+	case PersistDumpBytes:
+		return "dump_bytes"
+	case PersistLoadRecords:
+		return "load_records"
+	case PersistLoadBytes:
+		return "load_bytes"
+	case PersistWALReplay:
+		return "wal_replay"
+	case PersistWALDiscard:
+		return "wal_discard"
+	default:
+		return fmt.Sprintf("PersistKind(%d)", int(k))
+	}
+}
+
+// RecordPersist adds n to a persistence counter. Not gated on Enabled (see
+// PersistKind); a nil tracer ignores the call.
+func (t *Tracer) RecordPersist(k PersistKind, n uint64) {
+	if t == nil {
+		return
+	}
+	t.persist[k].Add(n)
+}
+
+// PersistSnapshot summarizes the persistence layer's activity: dump/load
+// volume and WAL replay depth.
+type PersistSnapshot struct {
+	// DumpRecords and DumpBytes total what snapshot dumps wrote.
+	DumpRecords uint64 `json:"dump_records"`
+	DumpBytes   uint64 `json:"dump_bytes"`
+	// LoadRecords and LoadBytes total what base loads read.
+	LoadRecords uint64 `json:"load_records"`
+	LoadBytes   uint64 `json:"load_bytes"`
+	// WALReplayed is the replay depth: records applied over base loads.
+	// WALDiscarded counts torn-tail records dropped during recovery.
+	WALReplayed  uint64 `json:"wal_replayed"`
+	WALDiscarded uint64 `json:"wal_discarded"`
+}
+
+// persistSnapshot builds the Snapshot section, or nil when no persistence
+// activity has been recorded.
+func (t *Tracer) persistSnapshot() *PersistSnapshot {
+	s := PersistSnapshot{
+		DumpRecords:  t.persist[PersistDumpRecords].Load(),
+		DumpBytes:    t.persist[PersistDumpBytes].Load(),
+		LoadRecords:  t.persist[PersistLoadRecords].Load(),
+		LoadBytes:    t.persist[PersistLoadBytes].Load(),
+		WALReplayed:  t.persist[PersistWALReplay].Load(),
+		WALDiscarded: t.persist[PersistWALDiscard].Load(),
+	}
+	if s.DumpRecords == 0 && s.DumpBytes == 0 && s.LoadRecords == 0 &&
+		s.LoadBytes == 0 && s.WALReplayed == 0 && s.WALDiscarded == 0 {
+		return nil
+	}
+	return &s
+}

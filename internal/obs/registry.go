@@ -91,6 +91,9 @@ type Snapshot struct {
 	// Index summarizes the shared hash index layer, when one is attached
 	// (nil otherwise).
 	Index *IndexSnapshot `json:"index,omitempty"`
+	// Persist summarizes snapshot dump / load / WAL-replay volume, when any
+	// persistence activity has been recorded (nil otherwise).
+	Persist *PersistSnapshot `json:"persist,omitempty"`
 }
 
 // OpSnapshot summarizes one operation kind.
@@ -134,6 +137,7 @@ func (t *Tracer) Snapshot() Snapshot {
 	s.Arena = t.arenaSnapshot()
 	s.Epoch = t.epochSnapshot()
 	s.Index = t.indexSnapshot()
+	s.Persist = t.persistSnapshot()
 	for k := 1; k < nOpKinds; k++ {
 		m := &t.ops[k]
 		count := m.count.Load()
@@ -200,6 +204,14 @@ func (s Snapshot) WriteText(w io.Writer) error {
 			"  index    hits=%d misses=%d stale=%d fallbacks=%d publishes=%d unpublishes=%d entries=%d buckets=%d\n",
 			x.Hits, x.Misses, x.Stale, x.Fallbacks, x.Publishes, x.Unpublishes,
 			x.Entries, x.Buckets); err != nil {
+			return err
+		}
+	}
+	if p := s.Persist; p != nil {
+		if _, err := fmt.Fprintf(w,
+			"  persist  dump_records=%d dump_bytes=%d load_records=%d load_bytes=%d wal_replayed=%d wal_discarded=%d\n",
+			p.DumpRecords, p.DumpBytes, p.LoadRecords, p.LoadBytes,
+			p.WALReplayed, p.WALDiscarded); err != nil {
 			return err
 		}
 	}

@@ -58,6 +58,10 @@ type Tracer struct {
 	// unpublish); indexStats, when set, gauges the index's size.
 	index      [nIndexKinds]atomic.Uint64
 	indexStats atomic.Pointer[func() IndexSizeSnapshot]
+
+	// persist counts persistence-layer events (dump/load records and bytes,
+	// WAL replay depth); cold-path, see RecordPersist.
+	persist [nPersistKinds]atomic.Uint64
 }
 
 // opMetrics aggregates one operation kind across all stripes. Writers are

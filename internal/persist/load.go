@@ -1,0 +1,299 @@
+package persist
+
+import (
+	"bufio"
+	"cmp"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"layeredsg/internal/obs"
+)
+
+// The load side. Validation is two-phase and strictly fail-closed: first
+// every shard header in the directory is read and cross-checked (version,
+// CRC, type kinds, a complete and mutually consistent shard set) before a
+// single record is decoded; only then do parallel readers stream the record
+// payloads, each sealing its file against the trailer's count and CRC. Any
+// failure aborts the whole load — the sink never learns whether its inserts
+// were part of a load that later failed, so callers must discard the target
+// on error.
+
+// loadBatchSize is the reader-to-sink hand-off granularity.
+const loadBatchSize = 1024
+
+// maxRecordLen bounds one key or value encoding; larger prefixes mean a
+// corrupt length, not a real record.
+const maxRecordLen = 1 << 30
+
+// LoadOptions parameterizes Load.
+type LoadOptions struct {
+	// Workers caps the concurrent shard readers; <= 0 uses one per shard.
+	Workers int
+	// Tracer receives load volume counters; nil for none.
+	Tracer *obs.Tracer
+}
+
+// LoadStats summarizes one completed load (WAL fields are filled by the
+// layeredsg recovery layer, not by Load).
+type LoadStats struct {
+	// Records and Bytes total what the shard files held.
+	Records uint64
+	Bytes   uint64
+	// Shards is the number of shard files read.
+	Shards int
+	// BaseSeq and Lineage echo the dump's snapshot sequence and sequence
+	// space; Source is the machine shape the dump was taken on.
+	BaseSeq uint64
+	Lineage uint64
+	Source  Topology
+	// WALReplayed counts log records applied over the base load;
+	// WALDiscardedBytes measures the torn tail recovery truncated away.
+	WALReplayed       uint64
+	WALDiscardedBytes uint64
+	// Elapsed is the base load's wall-clock duration.
+	Elapsed time.Duration
+}
+
+// Load reads the shard set in dir and feeds every record to sink in parallel
+// batches. sink must be safe for concurrent calls (a Store's InsertBatch is);
+// a sink error aborts the load. On any error the target the sink fed is
+// half-built and must be discarded by the caller.
+func Load[K cmp.Ordered, V any](dir string, sink func(keys []K, values []V) error, opts LoadOptions) (LoadStats, error) {
+	start := time.Now()
+	kc, vc := newCodec[K](), newCodec[V]()
+
+	files, err := filepath.Glob(filepath.Join(dir, "shard-*.sgd"))
+	if err != nil {
+		return LoadStats{}, fmt.Errorf("persist: listing %s: %w", dir, err)
+	}
+	if len(files) == 0 {
+		return LoadStats{}, fmt.Errorf("%w: no shard files in %s", ErrMissingShard, dir)
+	}
+
+	// Phase 1: validate every header before decoding any record.
+	headers := make([]header, len(files))
+	for i, name := range files {
+		h, err := readHeader(name)
+		if err != nil {
+			return LoadStats{}, err
+		}
+		if h.keyKind != kc.kind || h.valKind != vc.kind {
+			return LoadStats{}, fmt.Errorf("%w: %s holds %v→%v, load requested %v→%v",
+				ErrTypeMismatch, name, h.keyKind, h.valKind, kc.kind, vc.kind)
+		}
+		headers[i] = h
+	}
+	ref := headers[0]
+	byShard := make([]string, ref.shards)
+	for i, h := range headers {
+		if h.shards != ref.shards || h.baseSeq != ref.baseSeq || h.lineage != ref.lineage || h.topo != ref.topo {
+			return LoadStats{}, fmt.Errorf("%w: %s disagrees with %s (mixed dumps in %s)",
+				ErrFormat, files[i], files[0], dir)
+		}
+		if byShard[h.shard] != "" {
+			return LoadStats{}, fmt.Errorf("%w: shard %d appears in both %s and %s",
+				ErrFormat, h.shard, byShard[h.shard], files[i])
+		}
+		byShard[h.shard] = files[i]
+	}
+	for i, name := range byShard {
+		if name == "" {
+			return LoadStats{}, fmt.Errorf("%w: %s missing from %s (dump has %d shards)",
+				ErrMissingShard, ShardFileName(i), dir, ref.shards)
+		}
+	}
+
+	// Phase 2: parallel readers stream records into the sink.
+	workers := opts.Workers
+	if workers <= 0 || workers > len(byShard) {
+		workers = len(byShard)
+	}
+	var (
+		records, bytes atomic.Uint64
+		firstErr       error
+		errOnce        sync.Once
+		stop           atomic.Bool
+		wg             sync.WaitGroup
+	)
+	abort := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		stop.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(byShard); i += workers {
+				if stop.Load() {
+					return
+				}
+				n, b, err := readShard(byShard[i], headers[i], kc, vc, sink, &stop)
+				records.Add(n)
+				bytes.Add(b)
+				if err != nil {
+					abort(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	stats := LoadStats{
+		Records: records.Load(),
+		Bytes:   bytes.Load(),
+		Shards:  int(ref.shards),
+		BaseSeq: ref.baseSeq,
+		Lineage: ref.lineage,
+		Source:  ref.topo,
+	}
+	if firstErr != nil {
+		return stats, firstErr
+	}
+	opts.Tracer.RecordPersist(obs.PersistLoadRecords, stats.Records)
+	opts.Tracer.RecordPersist(obs.PersistLoadBytes, stats.Bytes)
+	stats.Elapsed = time.Since(start)
+	return stats, nil
+}
+
+// readHeader reads and validates one shard file's header.
+func readHeader(name string) (header, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return header{}, fmt.Errorf("persist: opening %s: %w", name, err)
+	}
+	defer f.Close()
+	var b [headerSize]byte
+	if _, err := io.ReadFull(f, b[:]); err != nil {
+		return header{}, fmt.Errorf("%w: %s: header: %v", ErrTruncated, name, err)
+	}
+	return decodeHeader(b[:], name)
+}
+
+// crcReader folds every byte it yields into a running CRC, so record decoding
+// and stream sealing share one pass.
+type crcReader struct {
+	r   *bufio.Reader
+	crc uint32
+	n   uint64
+}
+
+func (c *crcReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.crc = crc32.Update(c.crc, castagnoli, []byte{b})
+		c.n++
+	}
+	return b, err
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	c.n += uint64(n)
+	return n, err
+}
+
+// readShard streams one validated shard file's records into the sink,
+// checking stop between batches, then seals the stream against the trailer.
+func readShard[K cmp.Ordered, V any](name string, h header, kc codec[K], vc codec[V], sink func([]K, []V) error, stop *atomic.Bool) (records, bytes uint64, err error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return 0, 0, fmt.Errorf("persist: opening %s: %w", name, err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	if _, err := br.Discard(headerSize); err != nil {
+		return 0, 0, fmt.Errorf("%w: %s: %v", ErrTruncated, name, err)
+	}
+	cr := &crcReader{r: br}
+
+	keys := make([]K, 0, loadBatchSize)
+	vals := make([]V, 0, loadBatchSize)
+	flush := func() error {
+		if len(keys) == 0 {
+			return nil
+		}
+		if err := sink(keys, vals); err != nil {
+			return fmt.Errorf("persist: %s: sink: %w", name, err)
+		}
+		records += uint64(len(keys))
+		keys, vals = keys[:0], vals[:0]
+		return nil
+	}
+	var buf []byte
+	readBlob := func(what string) ([]byte, error) {
+		n, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: record %d: %s length: %v", ErrTruncated, name, records+uint64(len(keys)), what, err)
+		}
+		if n > maxRecordLen {
+			return nil, fmt.Errorf("%w: %s: record %d: %d-byte %s", ErrFormat, name, records+uint64(len(keys)), n, what)
+		}
+		if uint64(cap(buf)) < n {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(cr, buf); err != nil {
+			return nil, fmt.Errorf("%w: %s: record %d: %s: %v", ErrTruncated, name, records+uint64(len(keys)), what, err)
+		}
+		return buf, nil
+	}
+	for i := uint64(0); i < h.keyCount; i++ {
+		kb, err := readBlob("key")
+		if err != nil {
+			return records, bytes, err
+		}
+		k, err := kc.dec(kb)
+		if err != nil {
+			return records, bytes, fmt.Errorf("persist: %s: record %d: key: %w", name, i, err)
+		}
+		vb, err := readBlob("value")
+		if err != nil {
+			return records, bytes, err
+		}
+		v, err := vc.dec(vb)
+		if err != nil {
+			return records, bytes, fmt.Errorf("persist: %s: record %d: value: %w", name, i, err)
+		}
+		keys = append(keys, k)
+		vals = append(vals, v)
+		if len(keys) == loadBatchSize {
+			if err := flush(); err != nil {
+				return records, bytes, err
+			}
+			if stop.Load() {
+				return records, bytes, nil
+			}
+		}
+	}
+	streamCRC, streamBytes := cr.crc, cr.n
+
+	var trailer [trailerSize]byte
+	if _, err := io.ReadFull(br, trailer[:]); err != nil {
+		return records, bytes, fmt.Errorf("%w: %s: trailer: %v", ErrTruncated, name, err)
+	}
+	if string(trailer[0:8]) != trailerMagic {
+		return records, bytes, fmt.Errorf("%w: %s: bad trailer magic %q", ErrFormat, name, trailer[0:8])
+	}
+	if got := binary.LittleEndian.Uint64(trailer[8:]); got != h.keyCount {
+		return records, bytes, fmt.Errorf("%w: %s: trailer count %d, header %d", ErrFormat, name, got, h.keyCount)
+	}
+	if got := binary.LittleEndian.Uint32(trailer[16:]); got != streamCRC {
+		return records, bytes, fmt.Errorf("%w: %s: record stream CRC %08x, computed %08x", ErrChecksum, name, got, streamCRC)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return records, bytes, fmt.Errorf("%w: %s: bytes after trailer", ErrFormat, name)
+	}
+	if err := flush(); err != nil {
+		return records, bytes, err
+	}
+	return records, headerSize + streamBytes + trailerSize, nil
+}

@@ -1,0 +1,401 @@
+package persist
+
+import (
+	"bufio"
+	"cmp"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// The write-ahead log: an append-only journal of stamped mutations. The core
+// map calls Insert/Remove at its MVCC stamp sites (WAL satisfies
+// core.MutationSink), so per-key record order is stamp order and the global
+// order is recoverable by sorting on the sequence field — which is how replay
+// applies it.
+//
+// File layout: a 28-byte header (magic "SGWAL001", version, key/value kind
+// codes, the sequence-space lineage, a header CRC) followed by records:
+//
+//	op u8 (1=insert, 2=remove) | seq u64 | klen uvarint | key
+//	| insert only: vlen uvarint | value | crc u32 over all preceding bytes
+//
+// Appends are buffered, not per-record fsynced: the log is a journal whose
+// crash contract is "the tail may be torn". Recovery (OpenWAL) scans from the
+// header, keeps every record whose CRC seals, and physically truncates the
+// file at the first invalid one — a crashed append legitimately leaves a
+// partial record, so the torn tail is discarded rather than rejected. Records
+// that survive with a valid CRC but fail to decode indicate real corruption
+// and fail the open closed (ErrFormat).
+//
+// The lineage field ties a log to the sequence space it journals: a domain
+// rebuilt from a dump adopts the dump's lineage and advances its sequence
+// past every persisted stamp, so the same log keeps appending comparable
+// stamps across restarts. OpenWAL rejects a log whose lineage differs from
+// the dump it is asked to extend (ErrWALMismatch).
+
+// WALOp tags a log record.
+type WALOp uint8
+
+const (
+	// WALInsert journals a birth stamp (fresh insert or revival).
+	WALInsert WALOp = 1
+	// WALRemove journals a death stamp.
+	WALRemove WALOp = 2
+)
+
+const walHeaderSize = 28
+
+// WALRecord is one decoded log record. Value is the zero value for removes.
+type WALRecord[K cmp.Ordered, V any] struct {
+	Op    WALOp
+	Seq   uint64
+	Key   K
+	Value V
+}
+
+// RecoverStats reports what OpenWAL's torn-tail scan did.
+type RecoverStats struct {
+	// Records is the number of intact records the log held.
+	Records int
+	// DiscardedBytes is the torn tail truncated away (0 when the log was
+	// clean); Truncated reports whether a truncation happened.
+	DiscardedBytes int64
+	Truncated      bool
+}
+
+// WAL is an open write-ahead log. Insert, Remove, Flush, Sync, Prune, and
+// Close are safe for concurrent use; I/O errors are sticky (Err) because the
+// core's stamp sites cannot propagate them.
+type WAL[K cmp.Ordered, V any] struct {
+	path    string
+	kc      codec[K]
+	vc      codec[V]
+	lineage uint64
+
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	scratch []byte
+	kvbuf   []byte
+	err     error
+}
+
+func encodeWALHeader(kk, vk kindCode, lineage uint64) [walHeaderSize]byte {
+	var b [walHeaderSize]byte
+	copy(b[0:8], walMagic)
+	binary.LittleEndian.PutUint32(b[8:], FormatVersion)
+	b[12] = byte(kk)
+	b[13] = byte(vk)
+	binary.LittleEndian.PutUint64(b[16:], lineage)
+	binary.LittleEndian.PutUint32(b[24:], crc32.Checksum(b[:24], castagnoli))
+	return b
+}
+
+// CreateWAL creates a fresh log at path for the given sequence space. It
+// fails with ErrWALExists if path already exists: a leftover log holds
+// journaled mutations, and silently restarting it would lose them — recover
+// through the load path or remove the file explicitly.
+func CreateWAL[K cmp.Ordered, V any](path string, lineage uint64) (*WAL[K, V], error) {
+	kc, vc := newCodec[K](), newCodec[V]()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if errors.Is(err, fs.ErrExist) {
+			return nil, fmt.Errorf("%w: %s (recover it via LoadFromDisk or remove the file)", ErrWALExists, path)
+		}
+		return nil, fmt.Errorf("persist: creating WAL: %w", err)
+	}
+	hb := encodeWALHeader(kc.kind, vc.kind, lineage)
+	if _, err := f.Write(hb[:]); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("persist: writing WAL header: %w", err)
+	}
+	return &WAL[K, V]{path: path, kc: kc, vc: vc, lineage: lineage, f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+// walRawRec is one scanned record's byte extent and parsed fields.
+type walRawRec struct {
+	op         WALOp
+	seq        uint64
+	key, val   []byte // sub-slices of the scanned data
+	start, end int
+}
+
+// scanWAL parses records from data starting at walHeaderSize. It returns the
+// intact records and the offset where the intact prefix ends; parsing
+// stopping before len(data) means the tail from that offset is torn.
+func scanWAL(data []byte) (recs []walRawRec, validEnd int) {
+	off := walHeaderSize
+	for off < len(data) {
+		r := walRawRec{start: off}
+		p := off
+		if len(data)-p < 1+8 {
+			break
+		}
+		r.op = WALOp(data[p])
+		if r.op != WALInsert && r.op != WALRemove {
+			break
+		}
+		r.seq = binary.LittleEndian.Uint64(data[p+1:])
+		p += 9
+		blob := func() ([]byte, bool) {
+			n, w := binary.Uvarint(data[p:])
+			if w <= 0 || n > maxRecordLen || uint64(len(data)-p-w) < n {
+				return nil, false
+			}
+			b := data[p+w : p+w+int(n)]
+			p += w + int(n)
+			return b, true
+		}
+		var ok bool
+		if r.key, ok = blob(); !ok {
+			break
+		}
+		if r.op == WALInsert {
+			if r.val, ok = blob(); !ok {
+				break
+			}
+		}
+		if len(data)-p < 4 {
+			break
+		}
+		if binary.LittleEndian.Uint32(data[p:]) != crc32.Checksum(data[off:p], castagnoli) {
+			break
+		}
+		r.end = p + 4
+		recs = append(recs, r)
+		off = r.end
+	}
+	return recs, off
+}
+
+// OpenWAL opens an existing log, recovers its torn tail (physically
+// truncating the file), decodes the surviving records, and returns the log
+// positioned for further appends. expectLineage, when nonzero, must match the
+// log's header (ErrWALMismatch) — pass the dump's lineage to guarantee the
+// log extends the sequence space being loaded. A missing file surfaces as
+// fs.ErrNotExist for the caller to fall back to CreateWAL.
+func OpenWAL[K cmp.Ordered, V any](path string, expectLineage uint64) (*WAL[K, V], []WALRecord[K, V], RecoverStats, error) {
+	kc, vc := newCodec[K](), newCodec[V]()
+	var stats RecoverStats
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	if len(data) < walHeaderSize {
+		return nil, nil, stats, fmt.Errorf("%w: %s: %d-byte WAL header, want %d", ErrTruncated, path, len(data), walHeaderSize)
+	}
+	if string(data[0:8]) != walMagic {
+		return nil, nil, stats, fmt.Errorf("%w: %s: bad WAL magic %q", ErrFormat, path, data[0:8])
+	}
+	if got, want := binary.LittleEndian.Uint32(data[24:]), crc32.Checksum(data[:24], castagnoli); got != want {
+		return nil, nil, stats, fmt.Errorf("%w: %s: WAL header CRC %08x, computed %08x", ErrChecksum, path, got, want)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != FormatVersion {
+		return nil, nil, stats, fmt.Errorf("%w: %s: WAL version %d, this build reads %d", ErrVersion, path, v, FormatVersion)
+	}
+	if kk, vk := kindCode(data[12]), kindCode(data[13]); kk != kc.kind || vk != vc.kind {
+		return nil, nil, stats, fmt.Errorf("%w: %s holds %v→%v, load requested %v→%v", ErrTypeMismatch, path, kk, vk, kc.kind, vc.kind)
+	}
+	lineage := binary.LittleEndian.Uint64(data[16:])
+	if expectLineage != 0 && lineage != expectLineage {
+		return nil, nil, stats, fmt.Errorf("%w: %s journals lineage %016x, dump is %016x", ErrWALMismatch, path, lineage, expectLineage)
+	}
+
+	raw, validEnd := scanWAL(data)
+	stats.Records = len(raw)
+	if validEnd < len(data) {
+		stats.DiscardedBytes = int64(len(data) - validEnd)
+		stats.Truncated = true
+		if err := os.Truncate(path, int64(validEnd)); err != nil {
+			return nil, nil, stats, fmt.Errorf("persist: truncating torn WAL tail: %w", err)
+		}
+	}
+	recs := make([]WALRecord[K, V], len(raw))
+	for i, r := range raw {
+		recs[i] = WALRecord[K, V]{Op: r.op, Seq: r.seq}
+		if recs[i].Key, err = kc.dec(r.key); err != nil {
+			return nil, nil, stats, fmt.Errorf("%w: %s: record %d: key undecodable despite valid CRC", ErrFormat, path, i)
+		}
+		if r.op == WALInsert {
+			if recs[i].Value, err = vc.dec(r.val); err != nil {
+				return nil, nil, stats, fmt.Errorf("%w: %s: record %d: value undecodable despite valid CRC", ErrFormat, path, i)
+			}
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, stats, fmt.Errorf("persist: reopening WAL for append: %w", err)
+	}
+	w := &WAL[K, V]{path: path, kc: kc, vc: vc, lineage: lineage, f: f, w: bufio.NewWriterSize(f, 1<<16)}
+	return w, recs, stats, nil
+}
+
+// Insert journals a birth stamp. Part of core.MutationSink.
+func (w *WAL[K, V]) Insert(seq uint64, key K, value V) { w.append(WALInsert, seq, key, value) }
+
+// Remove journals a death stamp. Part of core.MutationSink.
+func (w *WAL[K, V]) Remove(seq uint64, key K) {
+	var zero V
+	w.append(WALRemove, seq, key, zero)
+}
+
+func (w *WAL[K, V]) append(op WALOp, seq uint64, key K, value V) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil || w.f == nil {
+		return
+	}
+	b := w.scratch[:0]
+	b = append(b, byte(op))
+	b = appendU64(b, seq)
+	w.kvbuf = w.kc.enc(w.kvbuf[:0], key)
+	b = binary.AppendUvarint(b, uint64(len(w.kvbuf)))
+	b = append(b, w.kvbuf...)
+	if op == WALInsert {
+		w.kvbuf = w.vc.enc(w.kvbuf[:0], value)
+		b = binary.AppendUvarint(b, uint64(len(w.kvbuf)))
+		b = append(b, w.kvbuf...)
+	}
+	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, castagnoli))
+	if _, err := w.w.Write(b); err != nil {
+		w.err = err
+	}
+	w.scratch = b
+}
+
+// Flush pushes buffered records to the OS (no fsync).
+func (w *WAL[K, V]) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flushLocked()
+}
+
+func (w *WAL[K, V]) flushLocked() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.f == nil {
+		return nil
+	}
+	if err := w.w.Flush(); err != nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// Sync flushes and fsyncs the log.
+func (w *WAL[K, V]) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.flushLocked(); err != nil || w.f == nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// Prune rewrites the log keeping only records with seq > upTo — called after
+// a dump at sequence upTo makes the prefix redundant (the dump holds its
+// effects). The rewrite goes through a temporary file and an atomic rename;
+// appends are blocked for its duration. Replay does its own seq > baseSeq
+// filtering, so a prune that loses the race with a late-arriving old stamp
+// costs bytes, not correctness.
+func (w *WAL[K, V]) Prune(upTo uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.flushLocked(); err != nil || w.f == nil {
+		return err
+	}
+	data, err := os.ReadFile(w.path)
+	if err != nil {
+		return fmt.Errorf("persist: pruning WAL: %w", err)
+	}
+	raw, validEnd := scanWAL(data)
+	_ = validEnd // a torn tail, were one present, is dropped by the rewrite
+	tmp := w.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("persist: pruning WAL: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	hb := encodeWALHeader(w.kc.kind, w.vc.kind, w.lineage)
+	_, err = bw.Write(hb[:])
+	for _, r := range raw {
+		if err != nil {
+			break
+		}
+		if r.seq > upTo {
+			_, err = bw.Write(data[r.start:r.end])
+		}
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, w.path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: pruning WAL: %w", err)
+	}
+	// Swap the append handle to the rewritten file.
+	nf, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		w.err = fmt.Errorf("persist: reopening pruned WAL: %w", err)
+		return w.err
+	}
+	w.f.Close()
+	w.f = nf
+	w.w = bufio.NewWriterSize(nf, 1<<16)
+	return nil
+}
+
+// Close flushes, fsyncs, and closes the log. Part of core.MutationSink.
+// Idempotent; returns the first sticky error.
+func (w *WAL[K, V]) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return w.err
+	}
+	if err := w.flushLocked(); err == nil {
+		if err := w.f.Sync(); err != nil && w.err == nil {
+			w.err = err
+		}
+	}
+	if err := w.f.Close(); err != nil && w.err == nil {
+		w.err = err
+	}
+	w.f = nil
+	return w.err
+}
+
+// Err returns the sticky I/O error, if any.
+func (w *WAL[K, V]) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Path returns the log's file path.
+func (w *WAL[K, V]) Path() string { return w.path }
+
+// Lineage returns the sequence space the log journals.
+func (w *WAL[K, V]) Lineage() uint64 { return w.lineage }

@@ -170,9 +170,20 @@ const (
 	MaintHybrid = core.MaintHybrid
 )
 
-// New builds a layered map.
+// New builds a layered map. When cfg.WAL names a directory, a fresh
+// write-ahead log is opened there and every mutation is journaled with its
+// MVCC sequence stamp (see StoreToDisk / LoadFromDisk); an existing log file
+// fails closed with ErrPersistWALExists.
 func New[K cmp.Ordered, V any](cfg Config) (*Map[K, V], error) {
-	return core.New[K, V](cfg)
+	m, err := core.New[K, V](cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := attachFreshWAL(m); err != nil {
+		m.Close()
+		return nil, err
+	}
+	return m, nil
 }
 
 // Topology describes a simulated NUMA machine.

@@ -81,7 +81,7 @@ type stripeHint struct {
 // configuration is the same as New's; the machine's thread count sets the
 // stripe count.
 func NewStore[K cmp.Ordered, V any](cfg Config) (*Store[K, V], error) {
-	m, err := core.New[K, V](cfg)
+	m, err := New[K, V](cfg)
 	if err != nil {
 		return nil, err
 	}
