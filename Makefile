@@ -25,6 +25,10 @@
 #                   run writers against in-flight dumps (snapshot isolation,
 #                   Close-during-dump, WAL recovery, the persist torture run)
 #                   and the FuzzDumpLoad seed corpus
+#   make race-wal — race pass over the WAL durability surface: the sync-policy
+#                   and group-commit scenarios, the process-kill crash matrix,
+#                   the FuzzWALSync seed corpus, and the root Barrier/Err
+#                   scenarios driving concurrent acknowledgers
 #   make bench    — the Store-overhead benchmark pair (see EXPERIMENTS.md)
 #   make bench-reclaim — the reclamation benchmarks: slot-churn turnover
 #                   and revival with reclamation on/off, snapshot acquire,
@@ -38,6 +42,10 @@
 #   make bench-persist — the persistence trial: fill PERSISTKEYS keys,
 #                   StoreToDisk, LoadFromDisk round trip via sgbench,
 #                   reporting keys/s and MB/s each way (see EXPERIMENTS.md)
+#   make bench-wal — the WAL durability benchmarks: append and commit cost
+#                   per sync policy (never/interval/every/group), plus an
+#                   sgbench fill sweep with per-batch Barrier acknowledgment
+#                   showing the group-commit batching counters (EXPERIMENTS.md)
 #   make fuzz-smoke — 30s of coverage-guided fuzzing per fuzz target (the
 #                   go tool accepts one -fuzz pattern per run, hence one
 #                   invocation each); seed-corpus replay is part of plain `test`
@@ -47,10 +55,11 @@ FUZZTIME ?= 30s
 BENCHJSON ?= BENCH.json
 PERSISTKEYS ?= 2000000
 PERSISTDIR ?= /tmp/layeredsg-persist
+WALKEYS ?= 500000
 
-.PHONY: ci build test vet race race-maintain race-refs race-reclaim race-index race-persist bench bench-alloc bench-reclaim bench-json bench-persist fuzz-smoke fmt
+.PHONY: ci build test vet race race-maintain race-refs race-reclaim race-index race-persist race-wal bench bench-alloc bench-reclaim bench-json bench-persist bench-wal fuzz-smoke fmt
 
-ci: build test vet race race-maintain race-refs race-reclaim race-index race-persist
+ci: build test vet race race-maintain race-refs race-reclaim race-index race-persist race-wal
 
 build:
 	$(GO) build ./...
@@ -85,6 +94,10 @@ race-persist:
 	$(GO) test -race ./internal/persist
 	$(GO) test -race -run 'TestTorturePersist|TestDumpSnapshotIsolation|TestCloseDuringDump|TestWAL|TestStoreDumpLoadRoundTrip|FuzzDumpLoad' .
 
+race-wal:
+	$(GO) test -race -run 'TestWAL|TestSyncPolicy|FuzzWALSync' ./internal/persist
+	$(GO) test -race -run 'TestStoreBarrier|TestStoreErr|TestStoreWALSync' .
+
 bench:
 	$(GO) test -run '^$$' -bench 'Store' -benchtime 3x .
 
@@ -103,6 +116,13 @@ bench-persist:
 	rm -rf $(PERSISTDIR)
 	$(GO) run ./cmd/sgbench -dump $(PERSISTDIR) -load $(PERSISTDIR) -keyspace $(PERSISTKEYS) -threads 16
 
+bench-wal:
+	$(GO) test -run '^$$' -bench 'WAL(Append|Commit)' -benchtime 20000x ./internal/persist
+	for pol in never interval every group; do \
+		rm -rf $(PERSISTDIR)-wal; \
+		$(GO) run ./cmd/sgbench -dump $(PERSISTDIR)-wal/d -wal $(PERSISTDIR)-wal/w -wal-sync $$pol -keyspace $(WALKEYS) -threads 16 | grep -E 'fill|wal sync'; \
+	done
+
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSkipGraphOps$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzStoreOps$$' -fuzztime $(FUZZTIME) .
@@ -111,6 +131,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSnapshotOps$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzIndexOps$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzDumpLoad$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzWALSync$$' -fuzztime $(FUZZTIME) ./internal/persist
 
 fmt:
 	gofmt -l .

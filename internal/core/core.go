@@ -33,6 +33,7 @@ import (
 	"layeredsg/internal/node"
 	"layeredsg/internal/numa"
 	"layeredsg/internal/obs"
+	"layeredsg/internal/persist"
 	"layeredsg/internal/skipgraph"
 	"layeredsg/internal/stats"
 )
@@ -287,6 +288,13 @@ type Config struct {
 	// variant with ReclaimAuto): the WAL's ordering guarantee is the MVCC
 	// stamp order, which only those configurations maintain.
 	WAL string
+	// WALSync selects the write-ahead log's durability policy (ignored when
+	// WAL is empty): persist.SyncNever (buffered appends, the zero value —
+	// fsync only on Close, Prune, and after dumps), persist.SyncInterval(d)
+	// (a background flusher fsyncs every d), persist.SyncEvery (fsync per
+	// append), or persist.SyncGroup (group commit: fsync on Commit/Barrier
+	// acknowledgment, batching concurrent acknowledgers into one fsync).
+	WALSync persist.SyncPolicy
 }
 
 // MutationSink receives the map's stamped mutations — the write-ahead log's
@@ -299,6 +307,18 @@ type MutationSink[K cmp.Ordered, V any] interface {
 	Insert(seq uint64, key K, value V)
 	Remove(seq uint64, key K)
 	Close() error
+}
+
+// DurableSink is the optional MutationSink extension a durability-aware sink
+// (the write-ahead log under a sync policy) implements. Commit blocks until
+// every mutation journaled before the call is durable per the sink's policy;
+// Err surfaces the sink's sticky I/O error without waiting for Close.
+// Map.Barrier and Map.WALErr discover the extension by type assertion, so
+// plain sinks keep working unchanged.
+type DurableSink[K cmp.Ordered, V any] interface {
+	MutationSink[K, V]
+	Commit(seq uint64) error
+	Err() error
 }
 
 // Map is a layered concurrent map. Obtain one Handle per worker thread; the
@@ -603,6 +623,35 @@ func (m *Map[K, V]) SetMutationSink(s MutationSink[K, V]) { m.wal = s }
 
 // MutationSink returns the attached sink, or nil.
 func (m *Map[K, V]) MutationSink() MutationSink[K, V] { return m.wal }
+
+// Barrier blocks until every mutation stamped before the call is durable in
+// the attached write-ahead log, per its sync policy: an fsynced
+// acknowledgment under SyncEvery, SyncGroup, and SyncInterval (concurrent
+// Barriers share one fsync — group commit), a flush to the OS under
+// SyncNever. The barrier covers the calling goroutine's completed
+// operations; mutations still in flight on other goroutines at the call are
+// not promised (their stamps have not reached the journal yet). A map
+// without a WAL — or with a sink that cannot acknowledge durability —
+// returns nil immediately.
+func (m *Map[K, V]) Barrier() error {
+	ds, ok := m.wal.(DurableSink[K, V])
+	if !ok {
+		return nil
+	}
+	return ds.Commit(m.domain.Seq())
+}
+
+// WALErr returns the write-ahead log's sticky I/O error, if any, without
+// waiting for Close — a failing journal drops records silently at the stamp
+// sites (they cannot propagate errors), so health checks should poll this
+// (or the obs wal_errs counter). Nil when no WAL is attached or the sink
+// does not expose errors.
+func (m *Map[K, V]) WALErr() error {
+	if e, ok := m.wal.(interface{ Err() error }); ok {
+		return e.Err()
+	}
+	return nil
+}
 
 // Domain exposes the epoch/snapshot domain, or nil when reclamation is off.
 // For tests, benchmarks, and the observability layer.

@@ -26,8 +26,28 @@ const (
 	// PersistWALDiscard: WAL records or torn-tail bytes discarded during
 	// recovery truncation.
 	PersistWALDiscard
+	// PersistWALFsyncs: fsyncs the WAL performed (per-append under
+	// SyncEvery, per commit group under SyncGroup, per tick under
+	// SyncInterval, per prune/close otherwise).
+	PersistWALFsyncs
+	// PersistWALCommits: durability acknowledgments requested (WAL.Commit /
+	// Store.Barrier calls that reached the log).
+	PersistWALCommits
+	// PersistWALGroupCommits: commits whose records an earlier fsync had
+	// already covered when they reached the durability mutex — riders that
+	// paid no fsync of their own. Under SyncGroup with concurrent
+	// committers this is the cohort size minus its leaders; Commits/Fsyncs
+	// gauges the mean group size.
+	PersistWALGroupCommits
+	// PersistWALCommitWaitNs: cumulative nanoseconds commits spent waiting
+	// for durability (the group-commit latency toll).
+	PersistWALCommitWaitNs
+	// PersistWALErrs: sticky WAL I/O error events — the first failure plus
+	// every record dropped on it afterwards. Nonzero means the journal is
+	// losing acknowledged-to-be-journaled mutations; see Store.Err.
+	PersistWALErrs
 
-	nPersistKinds = int(PersistWALDiscard) + 1
+	nPersistKinds = int(PersistWALErrs) + 1
 )
 
 // String implements fmt.Stringer.
@@ -45,6 +65,16 @@ func (k PersistKind) String() string {
 		return "wal_replay"
 	case PersistWALDiscard:
 		return "wal_discard"
+	case PersistWALFsyncs:
+		return "wal_fsyncs"
+	case PersistWALCommits:
+		return "wal_commits"
+	case PersistWALGroupCommits:
+		return "wal_group_commits"
+	case PersistWALCommitWaitNs:
+		return "wal_commit_wait_ns"
+	case PersistWALErrs:
+		return "wal_errs"
 	default:
 		return fmt.Sprintf("PersistKind(%d)", int(k))
 	}
@@ -72,21 +102,35 @@ type PersistSnapshot struct {
 	// WALDiscarded counts torn-tail records dropped during recovery.
 	WALReplayed  uint64 `json:"wal_replayed"`
 	WALDiscarded uint64 `json:"wal_discarded"`
+	// WALFsyncs, WALCommits, WALGroupCommits, and WALCommitWaitNs gauge the
+	// durability policy's toll: fsyncs performed, acknowledgments requested,
+	// commits that rode another's fsync, and cumulative commit-wait time.
+	WALFsyncs       uint64 `json:"wal_fsyncs"`
+	WALCommits      uint64 `json:"wal_commits"`
+	WALGroupCommits uint64 `json:"wal_group_commits"`
+	WALCommitWaitNs uint64 `json:"wal_commit_wait_ns"`
+	// WALErrs counts sticky WAL I/O error events (first failure + records
+	// dropped on it); nonzero is a health alarm.
+	WALErrs uint64 `json:"wal_errs"`
 }
 
 // persistSnapshot builds the Snapshot section, or nil when no persistence
 // activity has been recorded.
 func (t *Tracer) persistSnapshot() *PersistSnapshot {
 	s := PersistSnapshot{
-		DumpRecords:  t.persist[PersistDumpRecords].Load(),
-		DumpBytes:    t.persist[PersistDumpBytes].Load(),
-		LoadRecords:  t.persist[PersistLoadRecords].Load(),
-		LoadBytes:    t.persist[PersistLoadBytes].Load(),
-		WALReplayed:  t.persist[PersistWALReplay].Load(),
-		WALDiscarded: t.persist[PersistWALDiscard].Load(),
+		DumpRecords:     t.persist[PersistDumpRecords].Load(),
+		DumpBytes:       t.persist[PersistDumpBytes].Load(),
+		LoadRecords:     t.persist[PersistLoadRecords].Load(),
+		LoadBytes:       t.persist[PersistLoadBytes].Load(),
+		WALReplayed:     t.persist[PersistWALReplay].Load(),
+		WALDiscarded:    t.persist[PersistWALDiscard].Load(),
+		WALFsyncs:       t.persist[PersistWALFsyncs].Load(),
+		WALCommits:      t.persist[PersistWALCommits].Load(),
+		WALGroupCommits: t.persist[PersistWALGroupCommits].Load(),
+		WALCommitWaitNs: t.persist[PersistWALCommitWaitNs].Load(),
+		WALErrs:         t.persist[PersistWALErrs].Load(),
 	}
-	if s.DumpRecords == 0 && s.DumpBytes == 0 && s.LoadRecords == 0 &&
-		s.LoadBytes == 0 && s.WALReplayed == 0 && s.WALDiscarded == 0 {
+	if s == (PersistSnapshot{}) {
 		return nil
 	}
 	return &s

@@ -209,9 +209,12 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	}
 	if p := s.Persist; p != nil {
 		if _, err := fmt.Fprintf(w,
-			"  persist  dump_records=%d dump_bytes=%d load_records=%d load_bytes=%d wal_replayed=%d wal_discarded=%d\n",
+			"  persist  dump_records=%d dump_bytes=%d load_records=%d load_bytes=%d wal_replayed=%d wal_discarded=%d\n"+
+				"           wal_fsyncs=%d wal_commits=%d wal_group_commits=%d wal_commit_wait_ns=%d wal_errs=%d\n",
 			p.DumpRecords, p.DumpBytes, p.LoadRecords, p.LoadBytes,
-			p.WALReplayed, p.WALDiscarded); err != nil {
+			p.WALReplayed, p.WALDiscarded,
+			p.WALFsyncs, p.WALCommits, p.WALGroupCommits, p.WALCommitWaitNs,
+			p.WALErrs); err != nil {
 			return err
 		}
 	}

@@ -379,7 +379,7 @@ func TestLoadNoPartialSinkOnHeaderFault(t *testing.T) {
 
 func TestWALRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), WALFileName)
-	w, err := CreateWAL[int64, string](path, 0xfeed)
+	w, err := CreateWAL[int64, string](path, 0xfeed, WALOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +391,7 @@ func TestWALRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	w2, recs, rstats, err := OpenWAL[int64, string](path, 0xfeed)
+	w2, recs, rstats, err := OpenWAL[int64, string](path, 0xfeed, WALOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -414,7 +414,7 @@ func TestWALRoundTrip(t *testing.T) {
 	if err := w2.Close(); err != nil {
 		t.Fatal(err)
 	}
-	_, recs, _, err = OpenWAL[int64, string](path, 0xfeed)
+	_, recs, _, err = OpenWAL[int64, string](path, 0xfeed, WALOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -425,7 +425,7 @@ func TestWALRoundTrip(t *testing.T) {
 
 func TestWALTornTail(t *testing.T) {
 	path := filepath.Join(t.TempDir(), WALFileName)
-	w, err := CreateWAL[int64, string](path, 1)
+	w, err := CreateWAL[int64, string](path, 1, WALOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -445,7 +445,7 @@ func TestWALTornTail(t *testing.T) {
 	f.Write([]byte{byte(WALInsert), 9, 0, 0})
 	f.Close()
 
-	w2, recs, rstats, err := OpenWAL[int64, string](path, 1)
+	w2, recs, rstats, err := OpenWAL[int64, string](path, 1, WALOptions{})
 	if err != nil {
 		t.Fatalf("torn tail must recover, got %v", err)
 	}
@@ -465,7 +465,7 @@ func TestWALTornTail(t *testing.T) {
 // first invalid record (the documented append-only contract).
 func TestWALTornMiddle(t *testing.T) {
 	path := filepath.Join(t.TempDir(), WALFileName)
-	w, err := CreateWAL[int64, string](path, 1)
+	w, err := CreateWAL[int64, string](path, 1, WALOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -482,7 +482,7 @@ func TestWALTornMiddle(t *testing.T) {
 	data[firstEnd+5] ^= 0xff // corrupt the second record
 	os.WriteFile(path, data, 0o644)
 
-	_, recs, rstats, err := OpenWAL[int64, string](path, 1)
+	_, recs, rstats, err := OpenWAL[int64, string](path, 1, WALOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -494,23 +494,23 @@ func TestWALTornMiddle(t *testing.T) {
 func TestWALFaults(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, WALFileName)
-	w, err := CreateWAL[int64, string](path, 0xaa)
+	w, err := CreateWAL[int64, string](path, 0xaa, WALOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	w.Insert(1, 1, "x")
 	w.Close()
 
-	if _, err := CreateWAL[int64, string](path, 0xbb); !errors.Is(err, ErrWALExists) {
+	if _, err := CreateWAL[int64, string](path, 0xbb, WALOptions{}); !errors.Is(err, ErrWALExists) {
 		t.Errorf("create over existing: %v, want ErrWALExists", err)
 	}
-	if _, _, _, err := OpenWAL[int64, string](path, 0xbb); !errors.Is(err, ErrWALMismatch) {
+	if _, _, _, err := OpenWAL[int64, string](path, 0xbb, WALOptions{}); !errors.Is(err, ErrWALMismatch) {
 		t.Errorf("lineage skew: %v, want ErrWALMismatch", err)
 	}
-	if _, _, _, err := OpenWAL[int64, int64](path, 0xaa); !errors.Is(err, ErrTypeMismatch) {
+	if _, _, _, err := OpenWAL[int64, int64](path, 0xaa, WALOptions{}); !errors.Is(err, ErrTypeMismatch) {
 		t.Errorf("type skew: %v, want ErrTypeMismatch", err)
 	}
-	if _, _, _, err := OpenWAL[int64, string](filepath.Join(dir, "absent.sgw"), 0xaa); !errors.Is(err, fs.ErrNotExist) {
+	if _, _, _, err := OpenWAL[int64, string](filepath.Join(dir, "absent.sgw"), 0xaa, WALOptions{}); !errors.Is(err, fs.ErrNotExist) {
 		t.Errorf("missing file: %v, want fs.ErrNotExist", err)
 	}
 
@@ -518,14 +518,14 @@ func TestWALFaults(t *testing.T) {
 	data[3] = 'X'
 	bad := filepath.Join(dir, "bad.sgw")
 	os.WriteFile(bad, data, 0o644)
-	if _, _, _, err := OpenWAL[int64, string](bad, 0xaa); !errors.Is(err, ErrFormat) {
+	if _, _, _, err := OpenWAL[int64, string](bad, 0xaa, WALOptions{}); !errors.Is(err, ErrFormat) {
 		t.Errorf("bad magic: %v, want ErrFormat", err)
 	}
 }
 
 func TestWALPrune(t *testing.T) {
 	path := filepath.Join(t.TempDir(), WALFileName)
-	w, err := CreateWAL[int64, string](path, 7)
+	w, err := CreateWAL[int64, string](path, 7, WALOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -540,7 +540,7 @@ func TestWALPrune(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	_, recs, _, err := OpenWAL[int64, string](path, 7)
+	_, recs, _, err := OpenWAL[int64, string](path, 7, WALOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,9 +7,14 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"io/fs"
 	"os"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
+
+	"layeredsg/internal/obs"
 )
 
 // The write-ahead log: an append-only journal of stamped mutations. The core
@@ -24,13 +29,17 @@ import (
 //	op u8 (1=insert, 2=remove) | seq u64 | klen uvarint | key
 //	| insert only: vlen uvarint | value | crc u32 over all preceding bytes
 //
-// Appends are buffered, not per-record fsynced: the log is a journal whose
-// crash contract is "the tail may be torn". Recovery (OpenWAL) scans from the
-// header, keeps every record whose CRC seals, and physically truncates the
-// file at the first invalid one — a crashed append legitimately leaves a
-// partial record, so the torn tail is discarded rather than rejected. Records
-// that survive with a valid CRC but fail to decode indicate real corruption
-// and fail the open closed (ErrFormat).
+// Appends are buffered; *when* the buffer becomes durable is the log's
+// SyncPolicy (see sync.go): never (fsync only on Close/Prune/dump),
+// interval (background flusher), every (fsync per append), or group
+// (fsync on Commit, batching concurrent committers). Whatever the policy,
+// the crash contract for the unacknowledged tail is "the tail may be
+// torn". Recovery (OpenWAL) scans from the header, keeps every record
+// whose CRC seals, and physically truncates the file at the first invalid
+// one — a crashed append legitimately leaves a partial record, so the torn
+// tail is discarded rather than rejected. Records that survive with a
+// valid CRC but fail to decode indicate real corruption and fail the open
+// closed (ErrFormat).
 //
 // The lineage field ties a log to the sequence space it journals: a domain
 // rebuilt from a dump adopts the dump's lineage and advances its sequence
@@ -68,14 +77,23 @@ type RecoverStats struct {
 	Truncated      bool
 }
 
-// WAL is an open write-ahead log. Insert, Remove, Flush, Sync, Prune, and
-// Close are safe for concurrent use; I/O errors are sticky (Err) because the
-// core's stamp sites cannot propagate them.
+// WAL is an open write-ahead log. Insert, Remove, Flush, Sync, Commit,
+// Prune, and Close are safe for concurrent use; I/O errors are sticky (Err)
+// because the core's stamp sites cannot propagate them — they surface early
+// through Err and the obs wal_errs counter, not just at Close.
 type WAL[K cmp.Ordered, V any] struct {
 	path    string
 	kc      codec[K]
 	vc      codec[V]
 	lineage uint64
+	pol     SyncPolicy
+	tr      *obs.Tracer
+
+	// syncMu serializes the durability leaders — group-commit fsyncs,
+	// Prune's rewrite, Close — against each other, and is what keeps w.f
+	// alive while leaderSync fsyncs outside mu. Lock order: syncMu before
+	// mu, never the reverse.
+	syncMu sync.Mutex
 
 	mu      sync.Mutex
 	f       *os.File
@@ -83,6 +101,56 @@ type WAL[K cmp.Ordered, V any] struct {
 	scratch []byte
 	kvbuf   []byte
 	err     error
+	// appended counts records accepted into the buffer — the durability
+	// ticket space. durable is the highest ticket an fsync has covered;
+	// Commit(seq) waits for durable >= the ticket current at its call.
+	appended uint64
+	durable  atomic.Uint64
+
+	// SyncInterval flusher lifecycle; nil channels under other policies.
+	stopFlusher chan struct{}
+	flusherDone chan struct{}
+	stopOnce    sync.Once
+
+	// crashHook, when set (crash-injection tests only), is called at named
+	// durability points; the hook may os.Exit to simulate a crash there.
+	crashHook func(point string)
+	// pruneHook, when set (tests only), is called during Prune's off-lock
+	// rebuild phase, with no WAL lock held.
+	pruneHook func()
+}
+
+// newWAL wires a WAL around an open append handle and starts the background
+// flusher when the policy asks for one.
+func newWAL[K cmp.Ordered, V any](path string, kc codec[K], vc codec[V], lineage uint64, f *os.File, opts WALOptions) *WAL[K, V] {
+	w := &WAL[K, V]{
+		path: path, kc: kc, vc: vc, lineage: lineage,
+		pol: opts.Sync, tr: opts.Tracer,
+		f: f, w: bufio.NewWriterSize(f, 1<<16),
+	}
+	if opts.Sync.mode == syncInterval {
+		w.stopFlusher = make(chan struct{})
+		w.flusherDone = make(chan struct{})
+		go w.flushLoop(opts.Sync.interval)
+	}
+	return w
+}
+
+// crash invokes the crash-injection hook, if any.
+func (w *WAL[K, V]) crash(point string) {
+	if w.crashHook != nil {
+		w.crashHook(point)
+	}
+}
+
+// setErrLocked records a sticky I/O error (keeping the first) and counts the
+// event on the obs wal_errs counter, so a failing log is observable long
+// before Close. Callers hold mu.
+func (w *WAL[K, V]) setErrLocked(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+	w.tr.RecordPersist(obs.PersistWALErrs, 1)
 }
 
 func encodeWALHeader(kk, vk kindCode, lineage uint64) [walHeaderSize]byte {
@@ -100,7 +168,7 @@ func encodeWALHeader(kk, vk kindCode, lineage uint64) [walHeaderSize]byte {
 // fails with ErrWALExists if path already exists: a leftover log holds
 // journaled mutations, and silently restarting it would lose them — recover
 // through the load path or remove the file explicitly.
-func CreateWAL[K cmp.Ordered, V any](path string, lineage uint64) (*WAL[K, V], error) {
+func CreateWAL[K cmp.Ordered, V any](path string, lineage uint64, opts WALOptions) (*WAL[K, V], error) {
 	kc, vc := newCodec[K](), newCodec[V]()
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -118,7 +186,10 @@ func CreateWAL[K cmp.Ordered, V any](path string, lineage uint64) (*WAL[K, V], e
 		os.Remove(path)
 		return nil, fmt.Errorf("persist: writing WAL header: %w", err)
 	}
-	return &WAL[K, V]{path: path, kc: kc, vc: vc, lineage: lineage, f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+	// The header is durable; make the directory entry durable too, or a
+	// crash right after create can lose the whole file.
+	syncDir(filepath.Dir(path))
+	return newWAL(path, kc, vc, lineage, f, opts), nil
 }
 
 // walRawRec is one scanned record's byte extent and parsed fields.
@@ -183,7 +254,7 @@ func scanWAL(data []byte) (recs []walRawRec, validEnd int) {
 // log's header (ErrWALMismatch) — pass the dump's lineage to guarantee the
 // log extends the sequence space being loaded. A missing file surfaces as
 // fs.ErrNotExist for the caller to fall back to CreateWAL.
-func OpenWAL[K cmp.Ordered, V any](path string, expectLineage uint64) (*WAL[K, V], []WALRecord[K, V], RecoverStats, error) {
+func OpenWAL[K cmp.Ordered, V any](path string, expectLineage uint64, opts WALOptions) (*WAL[K, V], []WALRecord[K, V], RecoverStats, error) {
 	kc, vc := newCodec[K](), newCodec[V]()
 	var stats RecoverStats
 	data, err := os.ReadFile(path)
@@ -235,7 +306,18 @@ func OpenWAL[K cmp.Ordered, V any](path string, expectLineage uint64) (*WAL[K, V
 	if err != nil {
 		return nil, nil, stats, fmt.Errorf("persist: reopening WAL for append: %w", err)
 	}
-	w := &WAL[K, V]{path: path, kc: kc, vc: vc, lineage: lineage, f: f, w: bufio.NewWriterSize(f, 1<<16)}
+	if stats.Truncated {
+		// Make the truncation itself durable before trusting the recovered
+		// prefix: fsync the shortened file and its directory, so a crash
+		// right after recovery cannot resurrect the discarded tail under
+		// fresh appends.
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, stats, fmt.Errorf("persist: syncing truncated WAL: %w", err)
+		}
+		syncDir(filepath.Dir(path))
+	}
+	w := newWAL(path, kc, vc, lineage, f, opts)
 	return w, recs, stats, nil
 }
 
@@ -252,6 +334,11 @@ func (w *WAL[K, V]) append(op WALOp, seq uint64, key K, value V) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err != nil || w.f == nil {
+		if w.err != nil {
+			// Every record dropped on the sticky error is counted, so the
+			// loss is visible (wal_errs) long before Close returns it.
+			w.tr.RecordPersist(obs.PersistWALErrs, 1)
+		}
 		return
 	}
 	b := w.scratch[:0]
@@ -267,9 +354,15 @@ func (w *WAL[K, V]) append(op WALOp, seq uint64, key K, value V) {
 	}
 	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, castagnoli))
 	if _, err := w.w.Write(b); err != nil {
-		w.err = err
+		w.setErrLocked(err)
+		w.scratch = b
+		return
 	}
 	w.scratch = b
+	w.appended++
+	if w.pol.mode == syncEvery {
+		w.syncAppendedLocked()
+	}
 }
 
 // Flush pushes buffered records to the OS (no fsync).
@@ -287,97 +380,169 @@ func (w *WAL[K, V]) flushLocked() error {
 		return nil
 	}
 	if err := w.w.Flush(); err != nil {
-		w.err = err
+		w.setErrLocked(err)
 	}
 	return w.err
 }
 
-// Sync flushes and fsyncs the log.
+// Sync flushes and fsyncs the log, advancing the durable watermark.
 func (w *WAL[K, V]) Sync() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if err := w.flushLocked(); err != nil || w.f == nil {
-		return err
-	}
-	if err := w.f.Sync(); err != nil {
-		w.err = err
-	}
-	return w.err
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	return w.leaderSync()
 }
 
 // Prune rewrites the log keeping only records with seq > upTo — called after
 // a dump at sequence upTo makes the prefix redundant (the dump holds its
-// effects). The rewrite goes through a temporary file and an atomic rename;
-// appends are blocked for its duration. Replay does its own seq > baseSeq
-// filtering, so a prune that loses the race with a late-arriving old stamp
-// costs bytes, not correctness.
+// effects). The rewrite goes through a temporary file and an atomic rename,
+// and the bulk of it runs *off* the append mutex: appends (the MVCC stamp
+// sites) proceed into the live log while the pruned file is rebuilt from the
+// flushed prefix, and only the brief flush-and-swap windows block them.
+// Records appended during the rebuild are carried into the new file
+// verbatim; replay does its own seq > baseSeq filtering, so a carried-over
+// old stamp costs bytes, not correctness.
 func (w *WAL[K, V]) Prune(upTo uint64) error {
+	// Serialize against concurrent prunes, group-commit leaders, and Close:
+	// syncMu is what keeps the handle stable while we work off-lock.
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+
+	// Phase 1 (brief lock): flush, so the on-disk prefix holds everything
+	// appended so far.
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if err := w.flushLocked(); err != nil || w.f == nil {
+		w.mu.Unlock()
 		return err
+	}
+	w.mu.Unlock()
+
+	// Phase 2 (off-lock): rebuild the pruned file from the flushed prefix.
+	// Concurrent appends keep landing in the live log; phase 3 carries them
+	// over. The scan can stop short of the read's end (a concurrent append's
+	// auto-flush may have landed a record prefix after our flush); those
+	// bytes complete on disk by phase 3's flush and are carried from
+	// validEnd on.
+	if w.pruneHook != nil {
+		w.pruneHook()
 	}
 	data, err := os.ReadFile(w.path)
 	if err != nil {
 		return fmt.Errorf("persist: pruning WAL: %w", err)
 	}
 	raw, validEnd := scanWAL(data)
-	_ = validEnd // a torn tail, were one present, is dropped by the rewrite
 	tmp := w.path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("persist: pruning WAL: %w", err)
 	}
-	bw := bufio.NewWriterSize(f, 1<<16)
-	hb := encodeWALHeader(w.kc.kind, w.vc.kind, w.lineage)
-	_, err = bw.Write(hb[:])
-	for _, r := range raw {
-		if err != nil {
-			break
-		}
-		if r.seq > upTo {
-			_, err = bw.Write(data[r.start:r.end])
-		}
-	}
-	if err == nil {
-		err = bw.Flush()
-	}
-	if err == nil {
-		err = f.Sync()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		err = os.Rename(tmp, w.path)
-	}
-	if err != nil {
+	fail := func(err error) error {
+		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("persist: pruning WAL: %w", err)
 	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	hb := encodeWALHeader(w.kc.kind, w.vc.kind, w.lineage)
+	if _, err := bw.Write(hb[:]); err != nil {
+		return fail(err)
+	}
+	for _, r := range raw {
+		if r.seq > upTo {
+			if _, err := bw.Write(data[r.start:r.end]); err != nil {
+				return fail(err)
+			}
+		}
+	}
+
+	// Phase 3 (lock): flush the records that arrived during the rebuild,
+	// append them to the new file verbatim from where the phase-2 scan
+	// stopped, seal, rename, and swap the append handle.
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.flushLocked(); err != nil || w.f == nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	delta, err := readFrom(w.path, int64(validEnd))
+	if err != nil {
+		return fail(err)
+	}
+	if _, err := bw.Write(delta); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: pruning WAL: %w", err)
+	}
+	w.crash("prune-tmp-synced")
+	if err := os.Rename(tmp, w.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: pruning WAL: %w", err)
+	}
+	w.crash("prune-renamed")
+	// Make the rename durable: without the directory fsync a crash here can
+	// resurrect the pre-prune file.
+	syncDir(filepath.Dir(w.path))
 	// Swap the append handle to the rewritten file.
 	nf, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		w.err = fmt.Errorf("persist: reopening pruned WAL: %w", err)
+		w.setErrLocked(fmt.Errorf("persist: reopening pruned WAL: %w", err))
 		return w.err
 	}
 	w.f.Close()
 	w.f = nf
 	w.w = bufio.NewWriterSize(nf, 1<<16)
+	// Everything appended so far sits fsynced in the renamed file (or is
+	// covered by the dump that triggered the prune).
+	w.advanceDurable(w.appended)
+	w.tr.RecordPersist(obs.PersistWALFsyncs, 1)
 	return nil
 }
 
-// Close flushes, fsyncs, and closes the log. Part of core.MutationSink.
-// Idempotent; returns the first sticky error.
+// readFrom reads path's bytes from offset off to EOF.
+func readFrom(path string, off int64) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if fi.Size() <= off {
+		return nil, nil
+	}
+	buf := make([]byte, fi.Size()-off)
+	if _, err := f.ReadAt(buf, off); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Close stops the background flusher (if any), flushes, fsyncs, and closes
+// the log. Part of core.MutationSink. Idempotent; returns the first sticky
+// error.
 func (w *WAL[K, V]) Close() error {
+	w.stopFlushLoop()
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
 		return w.err
 	}
 	if err := w.flushLocked(); err == nil {
-		if err := w.f.Sync(); err != nil && w.err == nil {
-			w.err = err
+		if err := w.f.Sync(); err != nil {
+			w.setErrLocked(err)
+		} else {
+			w.advanceDurable(w.appended)
 		}
 	}
 	if err := w.f.Close(); err != nil && w.err == nil {

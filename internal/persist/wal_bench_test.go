@@ -1,0 +1,69 @@
+package persist
+
+import (
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// WAL durability benchmarks, behind `make bench-wal`. Two surfaces:
+// BenchmarkWALAppend is the stamp-site cost alone (what every Insert pays
+// with no acknowledgment), BenchmarkWALCommit is the acknowledged path
+// (append + Commit per operation, concurrent committers) — the spread
+// between SyncNever and SyncEvery is the per-mutation fsync toll, and
+// SyncGroup's position between them is what group commit buys back.
+
+func benchPolicies() []SyncPolicy {
+	return []SyncPolicy{SyncNever, SyncInterval(2 * time.Millisecond), SyncEvery, SyncGroup}
+}
+
+func BenchmarkWALAppend(b *testing.B) {
+	for _, pol := range benchPolicies() {
+		b.Run(pol.String(), func(b *testing.B) {
+			w, err := CreateWAL[uint64, uint64](filepath.Join(b.TempDir(), WALFileName), 7, WALOptions{Sync: pol})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var seq atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					s := seq.Add(1)
+					w.Insert(s, s, s*3)
+				}
+			})
+			b.StopTimer()
+			if err := w.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkWALCommit(b *testing.B) {
+	for _, pol := range benchPolicies() {
+		b.Run(pol.String(), func(b *testing.B) {
+			w, err := CreateWAL[uint64, uint64](filepath.Join(b.TempDir(), WALFileName), 7, WALOptions{Sync: pol})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var seq atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					s := seq.Add(1)
+					w.Insert(s, s, s*3)
+					if err := w.Commit(s); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			if err := w.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"layeredsg/internal/core"
 	"layeredsg/internal/obs"
@@ -24,6 +25,55 @@ type DumpStats = persist.DumpStats
 // LoadStats summarizes a completed LoadFromDisk: base-load volume, the dump's
 // source topology and snapshot sequence, and WAL replay depth.
 type LoadStats = persist.LoadStats
+
+// WALSyncPolicy selects when the write-ahead log fsyncs; see Config.WALSync
+// and DESIGN.md §10's durability-contract table.
+type WALSyncPolicy = persist.SyncPolicy
+
+var (
+	// SyncNever buffers WAL appends; fsync happens only on Close, Prune,
+	// and after dumps. Barrier promises the flushed prefix only (survives a
+	// process crash, not an OS crash). The default.
+	SyncNever = persist.SyncNever
+	// SyncEvery flushes and fsyncs the WAL on every append — maximal
+	// durability, one fsync per mutation.
+	SyncEvery = persist.SyncEvery
+	// SyncGroup fsyncs on Barrier/Commit acknowledgment, batching
+	// concurrent acknowledgers into one fsync (group commit).
+	SyncGroup = persist.SyncGroup
+)
+
+// SyncInterval returns the WAL policy that fsyncs from a background flusher
+// every d, bounding the un-durable window without an fsync on any hot path.
+func SyncInterval(d time.Duration) WALSyncPolicy { return persist.SyncInterval(d) }
+
+// ParseWALSyncPolicy parses a policy label — "never", "every", "group",
+// "interval" (the default period), or "interval:<duration>" — for flag and
+// config surfaces (cmd/sgbench's -wal-sync).
+func ParseWALSyncPolicy(s string) (WALSyncPolicy, error) { return persist.ParseSyncPolicy(s) }
+
+// Barrier blocks until every mutation acknowledged before the call is
+// durable in the store's write-ahead log, per Config.WALSync: a real fsync
+// under SyncEvery, SyncGroup, and SyncInterval — concurrent Barriers share
+// one fsync (group commit) — and a flush to the OS under SyncNever. The
+// barrier covers the calling goroutine's completed operations; it does not
+// wait for mutations still in flight on other goroutines. A store without a
+// WAL returns nil immediately. The error, when non-nil, is the journal's
+// sticky I/O error: the mutations are applied in memory but their records
+// may not survive a crash.
+func (s *Store[K, V]) Barrier() error {
+	if s.closing.Load() {
+		panic("layeredsg: operation on closed Store")
+	}
+	return s.m.Barrier()
+}
+
+// Err returns the persistence layer's sticky I/O error, if any, without
+// waiting for Close: a failing write-ahead log drops records silently at
+// the stamp sites (which cannot propagate errors), so long-running servers
+// should poll Err (or the obs wal_errs counter) as a health check. Nil when
+// no WAL is configured or the journal is healthy.
+func (s *Store[K, V]) Err() error { return s.m.WALErr() }
 
 // StoreToDisk dumps a consistent snapshot of the store into dir as a set of
 // shard files written in parallel — one writer per maintenance helper (or per
@@ -122,10 +172,11 @@ func LoadFromDisk[K cmp.Ordered, V any](dir string, cfg Config) (*Store[K, V], L
 			return fail(stats, fmt.Errorf("layeredsg: creating WAL dir: %w", err))
 		}
 		path := filepath.Join(walDir, persist.WALFileName)
-		w, recs, rstats, err := persist.OpenWAL[K, V](path, stats.Lineage)
+		wopts := persist.WALOptions{Sync: cfg.WALSync, Tracer: st.m.Tracer()}
+		w, recs, rstats, err := persist.OpenWAL[K, V](path, stats.Lineage, wopts)
 		switch {
 		case errors.Is(err, fs.ErrNotExist):
-			if w, err = persist.CreateWAL[K, V](path, stats.Lineage); err != nil {
+			if w, err = persist.CreateWAL[K, V](path, stats.Lineage, wopts); err != nil {
 				return fail(stats, err)
 			}
 		case err != nil:
@@ -193,7 +244,8 @@ func attachFreshWAL[K cmp.Ordered, V any](m *core.Map[K, V]) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("layeredsg: creating WAL dir: %w", err)
 	}
-	w, err := persist.CreateWAL[K, V](filepath.Join(dir, persist.WALFileName), m.Domain().Lineage())
+	w, err := persist.CreateWAL[K, V](filepath.Join(dir, persist.WALFileName), m.Domain().Lineage(),
+		persist.WALOptions{Sync: m.Config().WALSync, Tracer: m.Tracer()})
 	if err != nil {
 		return err
 	}
